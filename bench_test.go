@@ -1,0 +1,393 @@
+package repro_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dhcp4"
+	"repro/internal/dns"
+	"repro/internal/dns64"
+	"repro/internal/dnspoison"
+	"repro/internal/dnswire"
+	"repro/internal/httpsim"
+	"repro/internal/nat64"
+	"repro/internal/packet"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+	"repro/internal/scenario"
+	"repro/internal/testbed"
+)
+
+// Each benchmark regenerates one figure/table of the paper's evaluation
+// (see DESIGN.md §4 for the index). The measured quantity is the full
+// simulated workload for that experiment, so relative costs compare the
+// interventions rather than wall-clock network behaviour.
+
+func fetcher(tb *testbed.Testbed, c int) portal.Fetcher {
+	return func(url string) (*httpsim.Response, error) {
+		r, err := httpsim.Browse(tb.Clients[c], url)
+		if err != nil {
+			return nil, err
+		}
+		return r.Response, nil
+	}
+}
+
+// quiesce advances virtual time between iterations so NAT sessions,
+// DNS cache entries and closing TCP bindings expire the way they would
+// between real visitors — without it, sustained benchmark load would
+// (realistically!) exhaust the translators' port pools.
+func quiesce(tb *testbed.Testbed) {
+	tb.Net.RunFor(6 * time.Minute)
+}
+
+// BenchmarkFig2EcholinkLiteral: the IPv4-literal application exchange on
+// a dual-stack client (the SC23 count-polluting workload).
+func BenchmarkFig2EcholinkLiteral(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	c := tb.AddClient("ham", profiles.Windows10())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(testbed.EcholinkV4, testbed.EcholinkPort, []byte("cq"), time.Second); err != nil {
+			b.Fatal(err)
+		}
+		quiesce(tb)
+	}
+}
+
+// BenchmarkFig3GatewayRA: client bring-up plus first resolution through
+// the switch-RA-rescued RDNSS path.
+func BenchmarkFig3GatewayRA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.DefaultOptions())
+		c := tb.AddClient("probe", profiles.IPv6OnlyLinux())
+		if _, err := c.Lookup("sc24.supercomputing.org"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4TestbedBringup: assembling the full Fig. 4 topology and
+// bringing up one client of each major class.
+func BenchmarkFig4TestbedBringup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.DefaultOptions())
+		tb.AddClient("mac", profiles.MacOS())
+		tb.AddClient("win", profiles.Windows10())
+		tb.AddClient("console", profiles.NintendoSwitch())
+	}
+}
+
+// BenchmarkFig5ErroneousScore: the full five-subtest mirror run plus both
+// scorings for the IPv6-disabled client behind wildcard poisoning.
+func BenchmarkFig5ErroneousScore(b *testing.B) {
+	opt := testbed.DefaultOptions()
+	opt.RedirectV4 = testbed.MirrorV4
+	tb := testbed.New(opt)
+	tb.AddClient("nov6", profiles.Windows10NoV6())
+	f := fetcher(tb, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := portal.Run(f, tb.Mirror)
+		if portal.ScoreBuggy(res).Points != 10 {
+			b.Fatal("lost the erroneous 10/10")
+		}
+		quiesce(tb)
+	}
+}
+
+// BenchmarkFig6SwitchIntervention: an IPv4-only device browsing into the
+// intervention page.
+func BenchmarkFig6SwitchIntervention(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	c := tb.AddClient("console", profiles.NintendoSwitch())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := httpsim.Browse(c, "http://sc24.supercomputing.org/"); err != nil {
+			b.Fatal(err)
+		}
+		quiesce(tb)
+	}
+}
+
+// BenchmarkFig7WindowsXP: the XP path — AAAA through the poisoned
+// resolver's DNS64 forward, then a NAT64 page fetch.
+func BenchmarkFig7WindowsXP(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	xp := tb.AddClient("xp", profiles.WindowsXP())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := httpsim.Browse(xp, "http://sc24.supercomputing.org/"); err != nil {
+			b.Fatal(err)
+		}
+		quiesce(tb)
+	}
+}
+
+// BenchmarkFig8VPNSplitTunnel: one split-tunneled VTC fetch plus one
+// tunneled fetch.
+func BenchmarkFig8VPNSplitTunnel(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vc.Fetch("http://" + testbed.VTCV4.String() + "/"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vc.Fetch("http://ip6.me/"); err != nil {
+			b.Fatal(err)
+		}
+		quiesce(tb)
+	}
+}
+
+// BenchmarkFig9NonexistentFQDN: the nslookup suffix-first pathology.
+func BenchmarkFig9NonexistentFQDN(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	c := tb.AddClient("win11", profiles.Windows11())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns, err := c.NSLookup("vpn.anl.gov", dnswire.TypeA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ns.Name != "vpn.anl.gov.rfc8925.com." {
+			b.Fatal("pathology vanished")
+		}
+	}
+}
+
+// BenchmarkFig10RDNSSPreference: a resolution on the RDNSS-preferring
+// profile (never touching the poisoned server).
+func BenchmarkFig10RDNSSPreference(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	c := tb.AddClient("win10", profiles.Windows10())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Lookup("sc24.supercomputing.org"); err != nil {
+			b.Fatal(err)
+		}
+		quiesce(tb)
+	}
+	if len(tb.PoisonLog.Queries) != 0 {
+		b.Fatal("poisoned server was consulted")
+	}
+}
+
+// BenchmarkFig11VPNScore: the full mirror run over the tunnel.
+func BenchmarkFig11VPNScore(b *testing.B) {
+	tb := testbed.New(testbed.DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := portal.Run(vc.Fetch, tb.Mirror)
+		if portal.ScoreFixed(res).Points != 0 {
+			b.Fatal("VPN score should be 0/10")
+		}
+		quiesce(tb)
+	}
+}
+
+// BenchmarkTableAClientMatrix: the full §V compatibility matrix (eleven
+// testbeds, one per profile).
+func BenchmarkTableAClientMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := core.Matrix(testbed.DefaultOptions())
+		if len(rows) != len(profiles.All()) {
+			b.Fatal("short matrix")
+		}
+	}
+}
+
+// BenchmarkTableBClientCounting: a 20-device conference floor under the
+// SC24 intervention.
+func BenchmarkTableBClientCounting(b *testing.B) {
+	devices := scenario.Population(1, 20, scenario.DefaultMix())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := scenario.Run(testbed.New(testbed.DefaultOptions()), devices)
+		if rep.Joined != 20 {
+			b.Fatal("population lost")
+		}
+	}
+}
+
+// BenchmarkAblationPoisonerComparison: per-query cost of the dnsmasq
+// wildcard vs the RPZ existence check over a 10k-name query mix (half
+// existing, half NXDOMAIN) — the §VI complexity trade.
+func BenchmarkAblationPoisonerComparison(b *testing.B) {
+	zone := dns.NewZone("mix.example")
+	const existing = 5000
+	for i := 0; i < existing; i++ {
+		if err := zone.AddA(hostLabel(i), netip.MustParseAddr("198.51.100.1"), 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+	upstream := dns64.New(zone)
+	queries := make([]dnswire.Question, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Even i: an existing name; odd i: a non-existent one.
+		name := hostLabel(i/2) + ".mix.example"
+		if i%2 == 1 {
+			name = "ghost-" + hostLabel(i) + ".mix.example"
+		}
+		queries = append(queries, dnswire.Question{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	}
+	b.Run("wildcard", func(b *testing.B) {
+		w := dnspoison.NewWildcard(upstream)
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Resolve(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rpz", func(b *testing.B) {
+		r := dnspoison.NewRPZ(upstream)
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Resolve(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func hostLabel(i int) string {
+	const digits = "abcdefghij"
+	if i == 0 {
+		return "h" + string(digits[0])
+	}
+	s := "h"
+	for i > 0 {
+		s += string(digits[i%10])
+		i /= 10
+	}
+	return s
+}
+
+// BenchmarkDHCPDORA: a full discover/offer/request/ack exchange against
+// the option-108 server (message-level).
+func BenchmarkDHCPDORA(b *testing.B) {
+	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
+	srv, err := dhcp4.NewServer(dhcp4.ServerConfig{
+		ServerID:   netip.MustParseAddr("192.168.12.250"),
+		PoolStart:  netip.MustParseAddr("192.168.12.100"),
+		PoolEnd:    netip.MustParseAddr("192.168.12.199"),
+		SubnetMask: netip.MustParseAddr("255.255.255.0"),
+		LeaseTime:  time.Hour,
+	}, func() time.Time { return now })
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		chaddr := [6]byte{2, 0, 0, byte(i >> 16), byte(i >> 8), byte(i)}
+		d := dhcp4.NewMessage(dhcp4.OpRequest, uint32(i), chaddr)
+		d.SetType(dhcp4.Discover)
+		offer := srv.Handle(d)
+		if offer == nil {
+			b.Fatal("no offer")
+		}
+		r := dhcp4.NewMessage(dhcp4.OpRequest, uint32(i), chaddr)
+		r.SetType(dhcp4.Request)
+		r.SetIPv4Option(dhcp4.OptRequestedIP, offer.YIAddr)
+		r.SetIPv4Option(dhcp4.OptServerID, netip.MustParseAddr("192.168.12.250"))
+		if ack := srv.Handle(r); ack == nil || ack.Type() != dhcp4.ACK {
+			b.Fatal("no ack")
+		}
+		rel := dhcp4.NewMessage(dhcp4.OpRequest, uint32(i), chaddr)
+		rel.SetType(dhcp4.Release)
+		srv.Handle(rel)
+	}
+}
+
+// BenchmarkAblationScoringLogic: the two scorers over a fixed result set.
+func BenchmarkAblationScoringLogic(b *testing.B) {
+	res := &portal.Results{}
+	for _, n := range portal.SubtestNames {
+		res.Subs = append(res.Subs, portal.SubResult{Name: n, Fetched: true, Family: "IPv6"})
+	}
+	b.Run("buggy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			portal.ScoreBuggy(res)
+		}
+	})
+	b.Run("fixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			portal.ScoreFixed(res)
+		}
+	})
+}
+
+// --- substrate microbenchmarks ---------------------------------------------
+
+func BenchmarkDNSMessageMarshalParse(b *testing.B) {
+	msg := dnswire.NewQuery(1, "sc24.supercomputing.org", dnswire.TypeAAAA)
+	for i := 0; i < b.N; i++ {
+		wire, err := msg.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNS64Synthesis(b *testing.B) {
+	r := dns64.New(dns.NewStatic(
+		dnswire.RR{Name: "v4only.example", Type: dnswire.TypeA, TTL: 60, Addr: netip.MustParseAddr("190.92.158.4")},
+	))
+	q := dnswire.Question{Name: "v4only.example", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Resolve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNAT64UDPTranslation(b *testing.B) {
+	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
+	tr, err := nat64.New(nat64.Config{
+		Prefix:   dns64.WellKnownPrefix,
+		PublicV4: netip.MustParseAddr("203.0.113.1"),
+	}, func() time.Time { return now })
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := netip.MustParseAddr("2607:fb90:9bda:a425::50")
+	dst, _ := dns64.Synthesize(dns64.WellKnownPrefix, netip.MustParseAddr("190.92.158.4"))
+	pkt := &packet.IPv6{
+		NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst,
+		Payload: (&packet.UDP{SrcPort: 5000, DstPort: 53, Payload: []byte("query")}).Marshal(src, dst),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TranslateV6ToV4(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIPv4Checksum(b *testing.B) {
+	p := &packet.IPv4{Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("192.168.12.10"), Dst: netip.MustParseAddr("23.153.8.71"),
+		Payload: make([]byte, 512)}
+	wire := p.Marshal()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.ParseIPv4(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

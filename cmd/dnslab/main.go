@@ -1,0 +1,124 @@
+// Command dnslab runs the paper's poisoned-DNS64 stack on real UDP
+// sockets (localhost) so it can be poked with dig/nslookup:
+//
+//	go run ./cmd/dnslab -listen 127.0.0.1:5353 -policy wildcard
+//	dig -p 5353 @127.0.0.1 A  anything.example       # poisoned
+//	dig -p 5353 @127.0.0.1 AAAA sc24.supercomputing.org  # DNS64 synthesis
+//
+// The upstream world is the same built-in site registry the simulated
+// testbed uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+
+	"repro/internal/dns"
+	"repro/internal/dns64"
+	"repro/internal/dnspoison"
+	"repro/internal/dnswire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+	policy := flag.String("policy", "wildcard", "off | wildcard | rpz")
+	redirect := flag.String("redirect", "23.153.8.71", "poisoned A answer")
+	dnsmasq := flag.String("dnsmasq", "", "path to a dnsmasq-style config (address=/#/X, server=Y); overrides -policy/-redirect")
+	flag.Parse()
+
+	world := builtinWorld()
+	healthy := dns64.New(world)
+
+	var resolver dns.Resolver
+	if *dnsmasq != "" {
+		text, err := os.ReadFile(*dnsmasq)
+		if err != nil {
+			log.Fatalf("read %s: %v", *dnsmasq, err)
+		}
+		// The "server=" hop is collapsed onto the built-in healthy DNS64,
+		// exactly like the testbed's in-process upstream.
+		w, cfg, err := dnspoison.NewWildcardFromConfig(string(text), func(netip.Addr) dns.Resolver { return healthy })
+		if err != nil {
+			log.Fatalf("dnsmasq config: %v", err)
+		}
+		log.Printf("dnsmasq config: redirect=%v upstream=%v", cfg.Redirect, cfg.Upstream)
+		resolver = w
+	} else {
+		switch *policy {
+		case "off":
+			resolver = healthy
+		case "wildcard":
+			w := dnspoison.NewWildcard(healthy)
+			w.Redirect = netip.MustParseAddr(*redirect)
+			resolver = w
+		case "rpz":
+			r := dnspoison.NewRPZ(healthy)
+			r.Redirect = netip.MustParseAddr(*redirect)
+			resolver = r
+		default:
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+	}
+
+	pc, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("dnslab: %s policy on %s (upstream: built-in site registry)", *policy, pc.LocalAddr())
+
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		req, err := dnswire.Parse(buf[:n])
+		if err != nil || req.Response {
+			continue
+		}
+		resp := dns.Respond(resolver, req)
+		wire, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		if _, err := pc.WriteTo(wire, addr); err != nil {
+			log.Printf("write: %v", err)
+		}
+		if len(req.Questions) == 1 {
+			q := req.Questions[0]
+			log.Printf("%s %s -> %s (%d answers)", q.Name, dnswire.TypeString(q.Type),
+				dnswire.RcodeString(resp.Rcode), len(resp.Answers))
+		}
+	}
+}
+
+// builtinWorld mirrors the simulated internet's DNS content.
+func builtinWorld() dns.Resolver {
+	auth := dns.NewAuthority()
+	add := func(name, v4, v6 string) {
+		z := dns.NewZone(name)
+		if v4 != "" {
+			z.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: netip.MustParseAddr(v4)})
+		}
+		if v6 != "" {
+			z.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeAAAA, TTL: 300, Addr: netip.MustParseAddr(v6)})
+		}
+		auth.AddZone(z)
+	}
+	add("ip6.me", "23.153.8.71", "2001:4810:0:3::71")
+	add("test-ipv6.com", "216.218.228.119", "2001:470:1:18::119")
+	add("sc24.supercomputing.org", "190.92.158.4", "")
+	add("vpn.anl.gov", "130.202.228.253", "")
+	add("vtc.example.com", "198.51.100.40", "")
+	return dns.ResolverFunc(func(q dnswire.Question) (*dnswire.Message, error) {
+		if z := auth.Match(dnswire.CanonicalName(q.Name)); z != nil {
+			return z.Resolve(q)
+		}
+		return dns.NXDomain(), nil
+	})
+}

@@ -1,0 +1,380 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation on the simulated testbed and prints paper-vs-measured
+// reports. Run it with no arguments for everything, or name experiments
+// (fig2 fig3 ... fig11 tabA tabB ablA ablB) to run a subset.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnswire"
+	"repro/internal/httpsim"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+	"repro/internal/scenario"
+	"repro/internal/testbed"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+func main() {
+	exps := []experiment{
+		{"fig2", "IPv4-literal application on the v6 SSID (Echolink)", fig2},
+		{"fig3", "5G gateway RA with dead ULA RDNSS", fig3},
+		{"fig4", "full testbed topology bring-up", fig4},
+		{"fig5", "erroneous test-ipv6 10/10 via poisoned DNS", fig5},
+		{"fig6", "IPv4-only Nintendo Switch receives the intervention", fig6},
+		{"fig7", "Windows XP works via poisoned DNS64 + NAT64", fig7},
+		{"fig8", "VPN split-tunnel vs restricted IPv4", fig8},
+		{"fig9", "poisoned answers for non-existent FQDNs", fig9},
+		{"fig10", "resolver preference decides exposure to poisoning", fig10},
+		{"fig11", "0/10 test-ipv6 score over the VPN", fig11},
+		{"tabA", "device-class outcome matrix (paper §V)", tabA},
+		{"tabB", "SC23 vs SC24 client counting accuracy (paper §III.A)", tabB},
+		{"ablA", "ablation: dnsmasq wildcard vs BIND9 RPZ poisoning", ablA},
+		{"ablB", "ablation: buggy vs fixed mirror scoring", ablB},
+		{"tabC", "M-21-31 NAT44 logging burden vs IPv6 adoption", tabC},
+		{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
+	}
+
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		e.run()
+		fmt.Println()
+	}
+}
+
+func fetcher(tb *testbed.Testbed, clientIdx int) portal.Fetcher {
+	c := tb.Clients[clientIdx]
+	return func(url string) (*httpsim.Response, error) {
+		r, err := httpsim.Browse(c, url)
+		if err != nil {
+			return nil, err
+		}
+		return r.Response, nil
+	}
+}
+
+func fig2() {
+	fmt.Println("paper: a dual-stack laptop running Echolink (IPv4 literals) worked on SC23v6")
+	fmt.Println("       and polluted the IPv6-only client statistics")
+	tb := testbed.New(testbed.DefaultOptions())
+	devices := []scenario.DeviceSpec{
+		{Name: "ham-laptop", Profile: profiles.Windows10(), EcholinkOnly: true},
+		{Name: "attendee1", Profile: profiles.MacOS()},
+		{Name: "attendee2", Profile: profiles.IOS()},
+	}
+	rep := scenario.Run(tb, devices)
+	for _, d := range rep.Devices {
+		fmt.Printf("measured: %-12s class=%-10s internet=%v informed=%v\n",
+			d.Spec.Name, d.Class, d.Internet, d.Informed)
+	}
+	fmt.Printf("measured: reported SSID clients=%d, truly IPv6-only=%d, overcount=%d\n",
+		rep.ReportedSSIDClients, rep.TrueIPv6Only, rep.Overcount)
+	fmt.Println("shape: the literal-only device still works and still inflates the count — DNS")
+	fmt.Println("       interventions cannot reach applications that never resolve names")
+}
+
+func fig3() {
+	fmt.Println("paper: the gateway's RA advertises RDNSS fd00:976a::9/::10, which are dead;")
+	fmt.Println("       a managed-switch low-priority ULA RA makes them reachable")
+	opt := testbed.DefaultOptions()
+	opt.SwitchULARA = false
+	tb := testbed.New(opt)
+	c := tb.AddClient("probe", profiles.IPv6OnlyLinux())
+	_, err := c.Lookup("sc24.supercomputing.org")
+	fmt.Printf("measured: without switch RA: lookup error = %v\n", err)
+
+	tb2 := testbed.New(testbed.DefaultOptions())
+	c2 := tb2.AddClient("probe", profiles.IPv6OnlyLinux())
+	res, err := c2.Lookup("sc24.supercomputing.org")
+	if err != nil {
+		fmt.Printf("measured: with switch RA: UNEXPECTED error %v\n", err)
+		return
+	}
+	best, _ := res.BestAddr()
+	fmt.Printf("measured: with switch RA: resolver=%v answered %v\n", res.Resolver, best)
+}
+
+func fig4() {
+	fmt.Println("paper: Fig. 4 topology — gateway + managed switch + three Raspberry Pi roles")
+	tb := testbed.New(testbed.DefaultOptions())
+	for _, prof := range []string{"macOS", "Windows 10", "Windows XP", "Nintendo Switch"} {
+		for _, b := range profiles.All() {
+			if b.Name != prof {
+				continue
+			}
+			c := tb.AddClient("probe-"+prof, b)
+			o := core.Evaluate(tb, c)
+			used := o.UsedAddr
+			if used == "" {
+				used = "n/a"
+			}
+			fmt.Printf("measured: %-18s -> %-18s (used %s)\n", prof, o.Class, used)
+		}
+	}
+	fmt.Printf("measured: switch snooped %d gateway DHCP frames; gateway sent %d RAs\n",
+		tb.Switch.SnoopedDrops, tb.Gateway.RAsSent)
+}
+
+func fig5() {
+	fmt.Println("paper: IPv6-disabled Windows 10 + poisoned DNS pointing at test-ipv6.com's v4")
+	fmt.Println("       address erroneously scored 10/10; target then switched to ip6.me")
+	opt := testbed.DefaultOptions()
+	opt.RedirectV4 = testbed.MirrorV4
+	tb := testbed.New(opt)
+	tb.AddClient("win10-nov6", profiles.Windows10NoV6())
+	res := portal.Run(fetcher(tb, 0), tb.Mirror)
+	fmt.Printf("measured: redirect=test-ipv6.com  buggy=%v  fixed=%v\n",
+		portal.ScoreBuggy(res), portal.ScoreFixed(res))
+
+	tb2 := testbed.New(testbed.DefaultOptions())
+	tb2.AddClient("win10-nov6", profiles.Windows10NoV6())
+	res2 := portal.Run(fetcher(tb2, 0), tb2.Mirror)
+	r, err := httpsim.Browse(tb2.Clients[0], "http://ds.test-ipv6.com/")
+	landed := err == nil && strings.Contains(string(r.Response.Body), "lack of IPv6 support")
+	fmt.Printf("measured: redirect=ip6.me        buggy=%v  fixed=%v  intervention-page=%v\n",
+		portal.ScoreBuggy(res2), portal.ScoreFixed(res2), landed)
+}
+
+func fig6() {
+	fmt.Println("paper: an IPv4-only Nintendo Switch reports no connectivity and displays the")
+	fmt.Println("       ip6.me redirection; changing DNS to a known-good server restores IPv4")
+	tb := testbed.New(testbed.DefaultOptions())
+	c := tb.AddClient("console", profiles.NintendoSwitch())
+	r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		fmt.Printf("measured: browse error %v\n", err)
+		return
+	}
+	fmt.Printf("measured: intervention page shown = %v\n",
+		strings.Contains(string(r.Response.Body), "lack of IPv6 support"))
+
+	// The escape hatch the paper notes: manually set a known-good resolver.
+	c.DNSOverride = []netip.Addr{testbed.HealthyV4}
+	r, err = httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		fmt.Printf("measured: after DNS override: error %v\n", err)
+		return
+	}
+	fmt.Printf("measured: after DNS override: via %v -> %q\n", r.UsedAddr, firstLine(r.Response.Body))
+}
+
+func fig7() {
+	fmt.Println("paper: Windows XP (IPv4-transport DNS only) browses IPv4-only sites via")
+	fmt.Println("       NAT64/DNS64 through the poisoned server's healthy AAAA path")
+	tb := testbed.New(testbed.DefaultOptions())
+	xp := tb.AddClient("xp", profiles.WindowsXP())
+	res, err := xp.Lookup("sc24.supercomputing.org")
+	if err != nil {
+		fmt.Printf("measured: lookup error %v\n", err)
+		return
+	}
+	best, _ := res.BestAddr()
+	pr, perr := xp.Ping(best, time.Second)
+	r, berr := httpsim.Browse(xp, "http://sc24.supercomputing.org/")
+	fmt.Printf("measured: resolver=%v (the poisoned server)  AAAA=%v\n", res.Resolver, best)
+	fmt.Printf("measured: ping reply from %v (err=%v)\n", pr.From, perr)
+	if berr == nil {
+		fmt.Printf("measured: browse via %v -> %q\n", r.UsedAddr, firstLine(r.Response.Body))
+	}
+}
+
+func fig8() {
+	fmt.Println("paper: split-tunnel VPN clients using IPv4 literals lose their VTC when IPv4")
+	fmt.Println("       internet is further restricted")
+	tb := testbed.New(testbed.DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err != nil {
+		fmt.Printf("measured: vpn connect failed: %v\n", err)
+		return
+	}
+	_, err := vc.Fetch("http://" + testbed.VTCV4.String() + "/")
+	fmt.Printf("measured: VTC via split tunnel (IPv4 allowed):    err=%v\n", err)
+	tb.RestrictIPv4Internet()
+	_, err = vc.Fetch("http://" + testbed.VTCV4.String() + "/")
+	fmt.Printf("measured: VTC via split tunnel (IPv4 restricted): err=%v\n", err)
+	_, err = c.Lookup("sc24.supercomputing.org")
+	fmt.Printf("measured: IPv6 path unaffected by the ACL: lookup err=%v\n", err)
+}
+
+func fig9() {
+	fmt.Println("paper: nslookup receives a poisoned A for the non-existent suffixed FQDN;")
+	fmt.Println("       ping still gets the valid AAAA")
+	tb := testbed.New(testbed.DefaultOptions())
+	c := tb.AddClient("win11", profiles.Windows11())
+	ns, err := c.NSLookup("vpn.anl.gov", dnswire.TypeA)
+	if err == nil {
+		fmt.Printf("measured: nslookup answer name=%s addrs=%v\n", ns.Name, ns.Addrs)
+	}
+	res, err := c.Lookup("vpn.anl.gov")
+	if err == nil {
+		best, _ := res.BestAddr()
+		fmt.Printf("measured: getaddrinfo best=%v (suffix applied=%v)\n", best, res.SuffixApplied)
+	}
+}
+
+func fig10() {
+	fmt.Println("paper: Windows 10/Linux prefer the RDNSS resolver and never touch the")
+	fmt.Println("       poisoned server; some Windows 11 builds prefer the DHCPv4 resolver")
+	tb := testbed.New(testbed.DefaultOptions())
+	win10 := tb.AddClient("win10", profiles.Windows10())
+	before := len(tb.PoisonLog.Queries)
+	_, _ = win10.Lookup("sc24.supercomputing.org")
+	fmt.Printf("measured: Windows 10 poisoned-server queries: %d\n", len(tb.PoisonLog.Queries)-before)
+
+	win11 := tb.AddClient("win11", profiles.Windows11())
+	before = len(tb.PoisonLog.Queries)
+	_, _ = win11.Lookup("sc24.supercomputing.org")
+	fmt.Printf("measured: Windows 11 poisoned-server queries: %d\n", len(tb.PoisonLog.Queries)-before)
+}
+
+func fig11() {
+	fmt.Println("paper: Argonne VPN users scored 0/10 on the SC23 test-ipv6 mirror")
+	tb := testbed.New(testbed.DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err != nil {
+		fmt.Printf("measured: connect err=%v\n", err)
+		return
+	}
+	res := portal.Run(vc.Fetch, tb.Mirror)
+	fmt.Printf("measured: over VPN: buggy=%v fixed=%v\n", portal.ScoreBuggy(res), portal.ScoreFixed(res))
+}
+
+func tabA() {
+	fmt.Println("paper §V: per-device-class outcomes under the SC24v6 configuration")
+	rows := core.Matrix(testbed.DefaultOptions())
+	for _, r := range rows {
+		fmt.Println("measured:", r)
+	}
+	counts := core.CountClasses(rows)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("measured: %-18s %d\n", k, counts[core.OutcomeClass(k)])
+	}
+}
+
+func tabB() {
+	fmt.Println("paper §III.A: accurate IPv6-only client counting, SC23 vs SC24")
+	devices := scenario.Population(1, 60, scenario.DefaultMix())
+
+	optBase := testbed.DefaultOptions()
+	optBase.Poison = testbed.PoisonOff
+	base := scenario.Run(testbed.New(optBase), devices)
+	sc24 := scenario.Run(testbed.New(testbed.DefaultOptions()), devices)
+
+	fmt.Printf("measured: %-8s joined=%-3d informed=%-3d internet=%-3d reported=%-3d true-v6only=%-3d overcount=%d\n",
+		"SC23", base.Joined, base.Informed, base.InternetOK, base.ReportedSSIDClients, base.TrueIPv6Only, base.Overcount)
+	fmt.Printf("measured: %-8s joined=%-3d informed=%-3d internet=%-3d reported=%-3d true-v6only=%-3d overcount=%d\n",
+		"SC24", sc24.Joined, sc24.Informed, sc24.InternetOK, sc24.ReportedSSIDClients, sc24.TrueIPv6Only, sc24.Overcount)
+}
+
+func ablA() {
+	fmt.Println("paper §VI: RPZ would fix the non-existent-FQDN pathology at the cost of an")
+	fmt.Println("          upstream existence check per A query")
+	for _, policy := range []struct {
+		name string
+		p    testbed.PoisonPolicy
+	}{{"wildcard", testbed.PoisonWildcard}, {"rpz", testbed.PoisonRPZ}} {
+		opt := testbed.DefaultOptions()
+		opt.Poison = policy.p
+		tb := testbed.New(opt)
+		c := tb.AddClient("win11", profiles.Windows11())
+		ns, err := c.NSLookup("vpn.anl.gov", dnswire.TypeA)
+		if err != nil {
+			fmt.Printf("measured: %-8s error %v\n", policy.name, err)
+			continue
+		}
+		var upstreamChecks uint64
+		switch policy.p {
+		case testbed.PoisonWildcard:
+			upstreamChecks = tb.Wildcard.Forwarded
+		case testbed.PoisonRPZ:
+			upstreamChecks = tb.RPZ.Forwarded
+		}
+		fmt.Printf("measured: %-8s nslookup answer=%s (bogus suffixed answer=%v), upstream queries so far=%d\n",
+			policy.name, ns.Name, ns.Name != "vpn.anl.gov.", upstreamChecks)
+	}
+}
+
+func ablB() {
+	fmt.Println("paper §VI: only RFC 8925 clients should score 10/10")
+	tb := testbed.New(testbed.DefaultOptions())
+	for i, b := range []struct {
+		name string
+		p    string
+	}{{"RFC8925+CLAT", "macOS"}, {"dual-stack", "Windows 10"}, {"IPv4-only", "Nintendo Switch"}} {
+		for _, prof := range profiles.All() {
+			if prof.Name != b.p {
+				continue
+			}
+			tb.AddClient(fmt.Sprintf("probe%d", i), prof)
+			res := portal.Run(fetcher(tb, len(tb.Clients)-1), tb.Mirror)
+			fmt.Printf("measured: %-14s buggy=%v fixed=%v\n", b.name, portal.ScoreBuggy(res), portal.ScoreFixed(res))
+		}
+	}
+}
+
+func tabC() {
+	fmt.Println("paper §II: OMB M-21-31 requires logging every NAT translation — a burden Argonne")
+	fmt.Println("          cites for avoiding NAT; IPv6-first networks shift flows onto NAT64")
+	devices := scenario.Population(1, 60, scenario.DefaultMix())
+	for _, pol := range []struct {
+		name   string
+		poison testbed.PoisonPolicy
+	}{{"SC23", testbed.PoisonOff}, {"SC24", testbed.PoisonWildcard}} {
+		opt := testbed.DefaultOptions()
+		opt.Poison = pol.poison
+		rep := scenario.Run(testbed.New(opt), devices)
+		fmt.Printf("measured: %-5s nat44-log-entries=%-4d nat64-sessions=%-4d internet=%d/%d\n",
+			pol.name, rep.NAT44LogEntries, rep.NAT64Sessions, rep.InternetOK, rep.Joined)
+	}
+	fmt.Println("shape: per-flow NAT44 log lines exist only for the legacy-IPv4 tail; every")
+	fmt.Println("       IPv6-capable client rides NAT64/native v6 with no M-21-31 log entry")
+}
+
+func tabD() {
+	fmt.Println("paper §VII: the Windows 10 EOL refresh cycle as a catalyst — as the Windows")
+	fmt.Println("           population gains RFC 8925, exposure to the poisoned resolver and the")
+	fmt.Println("           counting overcount both shrink")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		devices := scenario.Population(2, 40, scenario.AdoptionMix(frac))
+		tb := testbed.New(testbed.DefaultOptions())
+		rep := scenario.Run(tb, devices)
+		fmt.Printf("measured: refreshed=%3.0f%%  overcount=%-3d poisoned-queries=%-4d informed=%-2d internet=%d/%d\n",
+			frac*100, rep.Overcount, len(tb.PoisonLog.Queries), rep.Informed, rep.InternetOK, rep.Joined)
+	}
+}
+
+func firstLine(b []byte) string {
+	s := string(b)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

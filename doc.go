@@ -1,0 +1,9 @@
+// Package repro is ipv6lab: a from-scratch Go reproduction of
+// "Improving transition to IPv6-only via RFC8925 and IPv4 DNS
+// Interventions" (SC 2024). The library simulates the paper's entire
+// testbed — 5G gateway, managed switch, DNS64/NAT64/CLAT translation,
+// RFC 8925 DHCPv4, poisoned IPv4 DNS, and the measurement portals — on
+// a deterministic virtual network. See README.md for the tour and
+// DESIGN.md for the system inventory; bench_test.go regenerates every
+// figure of the paper's evaluation.
+package repro

@@ -1,0 +1,121 @@
+// poisoneddns runs the poisoned-DNS64 resolver stack on a real UDP
+// socket (like the paper's dnsmasq two-liner) and queries it with a
+// stub client built from the same wire codec — end to end over loopback
+// rather than the simulated fabric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/dns64"
+	"repro/internal/dnspoison"
+	"repro/internal/dnswire"
+)
+
+func main() {
+	upstream := worldZones()
+	healthy := dns64.New(upstream)
+	poisoner := dnspoison.NewWildcard(healthy) // address=/#/23.153.8.71 + server=<healthy>
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer pc.Close()
+	go serve(pc, poisoner)
+	server := pc.LocalAddr().String()
+	fmt.Printf("poisoned DNS64 listening on %s\n\n", server)
+
+	queries := []struct {
+		name  string
+		qtype uint16
+		note  string
+	}{
+		{"sc24.supercomputing.org", dnswire.TypeA, "poisoned: every A answer is ip6.me"},
+		{"sc24.supercomputing.org", dnswire.TypeAAAA, "healthy DNS64 synthesis for the v4-only site"},
+		{"ip6.me", dnswire.TypeAAAA, "native AAAA passes through untouched"},
+		{"definitely-not-real.example", dnswire.TypeA, "the Fig. 9 pathology: bogus answer for a bogus name"},
+	}
+	for _, q := range queries {
+		answers, rcode, err := query(server, q.name, q.qtype)
+		if err != nil {
+			log.Fatalf("query %s: %v", q.name, err)
+		}
+		fmt.Printf("%-30s %-5s -> %-9s %v\n    (%s)\n",
+			q.name, dnswire.TypeString(q.qtype), rcode, answers, q.note)
+	}
+}
+
+func serve(pc net.PacketConn, r dns.Resolver) {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		req, err := dnswire.Parse(buf[:n])
+		if err != nil || req.Response {
+			continue
+		}
+		resp := dns.Respond(r, req)
+		wire, err := resp.Marshal()
+		if err == nil {
+			_, _ = pc.WriteTo(wire, addr)
+		}
+	}
+}
+
+func query(server, name string, qtype uint16) ([]netip.Addr, string, error) {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return nil, "", err
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(4242, name, qtype)
+	wire, err := q.Marshal()
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, "", err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := dnswire.Parse(buf[:n])
+	if err != nil {
+		return nil, "", err
+	}
+	var addrs []netip.Addr
+	for _, rr := range resp.Answers {
+		if rr.Type == qtype {
+			addrs = append(addrs, rr.Addr)
+		}
+	}
+	return addrs, dnswire.RcodeString(resp.Rcode), nil
+}
+
+func worldZones() dns.Resolver {
+	auth := dns.NewAuthority()
+	z1 := dns.NewZone("sc24.supercomputing.org")
+	z1.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: netip.MustParseAddr("190.92.158.4")})
+	z2 := dns.NewZone("ip6.me")
+	z2.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: netip.MustParseAddr("23.153.8.71")})
+	z2.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeAAAA, TTL: 300, Addr: netip.MustParseAddr("2001:4810:0:3::71")})
+	auth.AddZone(z1)
+	auth.AddZone(z2)
+	return dns.ResolverFunc(func(q dnswire.Question) (*dnswire.Message, error) {
+		if z := auth.Match(dnswire.CanonicalName(q.Name)); z != nil {
+			return z.Resolve(q)
+		}
+		return dns.NXDomain(), nil
+	})
+}

@@ -1,0 +1,52 @@
+// vpnsplit demonstrates the paper's two VPN findings: the split-tunnel
+// VTC flow that breaks when IPv4 is restricted (Fig. 8), and the 0/10
+// test-ipv6 score a VPN'd client gets because its traffic egresses on
+// IPv4 far away from the venue (Fig. 11).
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/httpsim"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+	"repro/internal/testbed"
+)
+
+func main() {
+	tb := testbed.New(testbed.DefaultOptions())
+	tb.InstallVPN()
+	laptop := tb.AddClient("work-laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(laptop)
+
+	if err := vc.Connect(); err != nil {
+		fmt.Println("vpn connect failed:", err)
+		return
+	}
+	fmt.Println("VPN connected to vpn.anl.gov over the testbed's IPv4 path")
+
+	resp, err := vc.Fetch("http://" + testbed.VTCV4.String() + "/")
+	fmt.Printf("VTC via split-tunnel literal: err=%v body=%q\n", err, bodyOf(resp))
+
+	resp, err = vc.Fetch("http://ip6.me/")
+	viaEgress := err == nil && strings.Contains(string(resp.Body), testbed.VPNEgressV4.String())
+	fmt.Printf("ip6.me via tunnel:            err=%v, seen from enterprise egress %s: %v\n",
+		err, testbed.VPNEgressV4, viaEgress)
+
+	res := portal.Run(vc.Fetch, tb.Mirror)
+	fmt.Printf("test-ipv6 over the VPN:       buggy=%v fixed=%v  (the paper's Fig. 11 0/10)\n",
+		portal.ScoreBuggy(res), portal.ScoreFixed(res))
+
+	fmt.Println("\napplying the §VI ACL: blocking IPv4 internet at the gateway...")
+	tb.RestrictIPv4Internet()
+	_, err = vc.Fetch("http://" + testbed.VTCV4.String() + "/")
+	fmt.Printf("VTC via split-tunnel literal: err=%v  (the paper's Fig. 8 breakage)\n", err)
+}
+
+func bodyOf(r *httpsim.Response) string {
+	if r == nil {
+		return ""
+	}
+	return strings.TrimSpace(string(r.Body))
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/profiles"
+	"repro/internal/testbed"
+)
+
+func TestEvaluateClassesWithIntervention(t *testing.T) {
+	tb := testbed.New(testbed.DefaultOptions())
+
+	mac := tb.AddClient("mac", profiles.MacOS())
+	o := Evaluate(tb, mac)
+	if o.Class != TranslatedInternet {
+		t.Errorf("macOS class = %s, want %s", o.Class, TranslatedInternet)
+	}
+	if !o.IPv6Only || !o.CLATActive || o.HasIPv4 {
+		t.Errorf("macOS flags: %+v", o)
+	}
+	if o.FixedScore.Points != 10 {
+		t.Errorf("macOS fixed score = %v", o.FixedScore)
+	}
+
+	console := tb.AddClient("console", profiles.NintendoSwitch())
+	o = Evaluate(tb, console)
+	if o.Class != Informed {
+		t.Errorf("console class = %s, want %s", o.Class, Informed)
+	}
+
+	win10 := tb.AddClient("win10", profiles.Windows10())
+	o = Evaluate(tb, win10)
+	if o.Class != TranslatedInternet {
+		t.Errorf("win10 class = %s, want %s", o.Class, TranslatedInternet)
+	}
+	if o.FixedScore.Points != 9 {
+		t.Errorf("win10 fixed score = %v, want 9 (dual-stack cap)", o.FixedScore)
+	}
+}
+
+func TestMatrixWithIntervention(t *testing.T) {
+	rows := Matrix(testbed.DefaultOptions())
+	if len(rows) != len(profiles.All()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	counts := CountClasses(rows)
+	// With the intervention: no client is broken, none uses native v4
+	// for DNS-based browsing, and only true IPv4-only devices are informed.
+	if counts[Broken] != 0 {
+		t.Errorf("broken clients: %+v", rows)
+	}
+	if counts[Informed] != 2 { // Nintendo Switch + Windows 10 (IPv6 disabled)
+		t.Errorf("informed = %d, want 2 (%+v)", counts[Informed], counts)
+	}
+	if counts[NativeV4Internet] != 0 {
+		t.Errorf("native v4 internet = %d, want 0 under intervention", counts[NativeV4Internet])
+	}
+	for _, r := range rows {
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+}
+
+func TestMatrixBaselineSC23(t *testing.T) {
+	opt := testbed.DefaultOptions()
+	opt.Poison = testbed.PoisonOff
+	rows := Matrix(opt)
+	counts := CountClasses(rows)
+	// Without poisoning nobody is informed; IPv4-only devices get plain
+	// IPv4 internet (the SC23 "false impression" the paper describes).
+	if counts[Informed] != 0 {
+		t.Errorf("informed = %d, want 0 at SC23 baseline", counts[Informed])
+	}
+	if counts[NativeV4Internet] == 0 {
+		t.Error("expected some clients on native IPv4 at the SC23 baseline")
+	}
+	if counts[Broken] != 0 {
+		t.Errorf("broken = %d", counts[Broken])
+	}
+}
+
+func TestMatrixRFC8925ClientsUnaffectedByPolicy(t *testing.T) {
+	// The paper's headline requirement: the intervention must not impact
+	// RFC 8925 or IPv6-only clients. Their outcome must be identical with
+	// and without poisoning.
+	for _, poison := range []testbed.PoisonPolicy{testbed.PoisonOff, testbed.PoisonWildcard, testbed.PoisonRPZ} {
+		opt := testbed.DefaultOptions()
+		opt.Poison = poison
+		tb := testbed.New(opt)
+		c := tb.AddClient("phone", profiles.IOS())
+		o := Evaluate(tb, c)
+		if o.Class != TranslatedInternet {
+			t.Errorf("poison=%v: iOS class = %s", poison, o.Class)
+		}
+		if o.FixedScore.Points != 10 {
+			t.Errorf("poison=%v: iOS fixed score = %v", poison, o.FixedScore)
+		}
+	}
+}

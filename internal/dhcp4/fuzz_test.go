@@ -1,0 +1,47 @@
+package dhcp4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parse must be total: the server reads whatever arrives on port 67.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		if m, err := Parse(data); err == nil {
+			_ = m.Marshal()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The server must be total over arbitrary parsed messages.
+func TestServerHandleNeverPanics(t *testing.T) {
+	clk := newFakeClock()
+	s := newServer(t, testConfig(), clk)
+	prop := func(op, msgType uint8, xid uint32, chaddr [6]byte, opts []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		m := NewMessage(op, xid, chaddr)
+		m.SetType(msgType % 12)
+		if len(opts) > 0 {
+			m.Options[OptParamRequestList] = opts
+		}
+		_ = s.Handle(m)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package dhcp4 implements the DHCPv4 wire format (RFC 2131) and a
+// lease-managing server with RFC 8925 "IPv6-Only Preferred" (option 108)
+// support — the mechanism the testbed's Raspberry Pi DHCP server uses to
+// let CLAT-capable clients disable their IPv4 stack entirely.
+package dhcp4
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Ports used by DHCPv4.
+const (
+	ServerPort = 67
+	ClientPort = 68
+)
+
+// Message op codes.
+const (
+	OpRequest uint8 = 1
+	OpReply   uint8 = 2
+)
+
+// DHCP message types (option 53).
+const (
+	Discover uint8 = 1
+	Offer    uint8 = 2
+	Request  uint8 = 3
+	Decline  uint8 = 4
+	ACK      uint8 = 5
+	NAK      uint8 = 6
+	Release  uint8 = 7
+	Inform   uint8 = 8
+)
+
+// Option codes used by the testbed.
+const (
+	OptSubnetMask        uint8 = 1
+	OptRouter            uint8 = 3
+	OptDNSServers        uint8 = 6
+	OptHostname          uint8 = 12
+	OptDomainName        uint8 = 15
+	OptRequestedIP       uint8 = 50
+	OptLeaseTime         uint8 = 51
+	OptMessageType       uint8 = 53
+	OptServerID          uint8 = 54
+	OptParamRequestList  uint8 = 55
+	OptIPv6OnlyPreferred uint8 = 108 // RFC 8925
+	OptEnd               uint8 = 255
+	optPad               uint8 = 0
+)
+
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// ErrNotDHCP reports a packet without the DHCP magic cookie.
+var ErrNotDHCP = errors.New("dhcp4: not a DHCP packet")
+
+// Message is a DHCPv4 message with options held in a map keyed by code.
+type Message struct {
+	Op        uint8
+	XID       uint32
+	Secs      uint16
+	Broadcast bool
+	CIAddr    netip.Addr // client's current address, if any
+	YIAddr    netip.Addr // "your" address: the offer/lease
+	SIAddr    netip.Addr // next server
+	GIAddr    netip.Addr // relay agent
+	CHAddr    [6]byte    // client hardware address
+
+	Options map[uint8][]byte
+}
+
+// NewMessage returns a message with zeroed addresses and an empty
+// option map.
+func NewMessage(op uint8, xid uint32, chaddr [6]byte) *Message {
+	z := netip.AddrFrom4([4]byte{})
+	return &Message{
+		Op: op, XID: xid, CHAddr: chaddr,
+		CIAddr: z, YIAddr: z, SIAddr: z, GIAddr: z,
+		Options: make(map[uint8][]byte),
+	}
+}
+
+// Type returns the DHCP message type from option 53 (0 when missing).
+func (m *Message) Type() uint8 {
+	if v, ok := m.Options[OptMessageType]; ok && len(v) == 1 {
+		return v[0]
+	}
+	return 0
+}
+
+// SetType sets option 53.
+func (m *Message) SetType(t uint8) { m.Options[OptMessageType] = []byte{t} }
+
+// SetIPv4Option stores one IPv4 address under code.
+func (m *Message) SetIPv4Option(code uint8, a netip.Addr) {
+	v := a.As4()
+	m.Options[code] = v[:]
+}
+
+// IPv4Option reads a single-address option.
+func (m *Message) IPv4Option(code uint8) (netip.Addr, bool) {
+	v, ok := m.Options[code]
+	if !ok || len(v) < 4 {
+		return netip.Addr{}, false
+	}
+	return netip.AddrFrom4([4]byte(v[:4])), true
+}
+
+// SetIPv4ListOption stores several IPv4 addresses under code (e.g. DNS
+// servers, option 6).
+func (m *Message) SetIPv4ListOption(code uint8, addrs ...netip.Addr) {
+	b := make([]byte, 0, 4*len(addrs))
+	for _, a := range addrs {
+		v := a.As4()
+		b = append(b, v[:]...)
+	}
+	m.Options[code] = b
+}
+
+// IPv4ListOption reads a multi-address option.
+func (m *Message) IPv4ListOption(code uint8) []netip.Addr {
+	v, ok := m.Options[code]
+	if !ok {
+		return nil
+	}
+	var out []netip.Addr
+	for i := 0; i+4 <= len(v); i += 4 {
+		out = append(out, netip.AddrFrom4([4]byte(v[i:i+4])))
+	}
+	return out
+}
+
+// RequestsOption reports whether the client's parameter request list
+// (option 55) includes code — how RFC 8925 clients signal option 108
+// support.
+func (m *Message) RequestsOption(code uint8) bool {
+	for _, c := range m.Options[OptParamRequestList] {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// SetIPv6OnlyPreferred sets option 108 to the given wait seconds
+// (RFC 8925 §3.3; the V6ONLY_WAIT timer).
+func (m *Message) SetIPv6OnlyPreferred(seconds uint32) {
+	m.Options[OptIPv6OnlyPreferred] = []byte{
+		byte(seconds >> 24), byte(seconds >> 16), byte(seconds >> 8), byte(seconds),
+	}
+}
+
+// IPv6OnlyPreferred returns the option 108 value when present.
+func (m *Message) IPv6OnlyPreferred() (seconds uint32, ok bool) {
+	v, has := m.Options[OptIPv6OnlyPreferred]
+	if !has || len(v) != 4 {
+		return 0, false
+	}
+	return uint32(v[0])<<24 | uint32(v[1])<<16 | uint32(v[2])<<8 | uint32(v[3]), true
+}
+
+const fixedLen = 236 // header bytes before the magic cookie
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, fixedLen, fixedLen+64)
+	b[0] = m.Op
+	b[1] = 1 // htype: Ethernet
+	b[2] = 6 // hlen
+	put32(b[4:], m.XID)
+	b[8] = byte(m.Secs >> 8)
+	b[9] = byte(m.Secs)
+	if m.Broadcast {
+		b[10] = 0x80
+	}
+	putAddr4(b[12:], m.CIAddr)
+	putAddr4(b[16:], m.YIAddr)
+	putAddr4(b[20:], m.SIAddr)
+	putAddr4(b[24:], m.GIAddr)
+	copy(b[28:34], m.CHAddr[:])
+	b = append(b, magicCookie[:]...)
+
+	// Deterministic option order for stable goldens.
+	codes := make([]int, 0, len(m.Options))
+	for c := range m.Options {
+		codes = append(codes, int(c))
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		v := m.Options[uint8(c)]
+		if len(v) > 255 {
+			v = v[:255]
+		}
+		b = append(b, uint8(c), uint8(len(v)))
+		b = append(b, v...)
+	}
+	return append(b, OptEnd)
+}
+
+// Parse decodes a DHCPv4 message, requiring the magic cookie.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < fixedLen+4 {
+		return nil, fmt.Errorf("dhcp4: message too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[fixedLen:fixedLen+4]) != magicCookie {
+		return nil, ErrNotDHCP
+	}
+	m := &Message{
+		Op:        b[0],
+		XID:       be32(b[4:]),
+		Secs:      uint16(b[8])<<8 | uint16(b[9]),
+		Broadcast: b[10]&0x80 != 0,
+		CIAddr:    netip.AddrFrom4([4]byte(b[12:16])),
+		YIAddr:    netip.AddrFrom4([4]byte(b[16:20])),
+		SIAddr:    netip.AddrFrom4([4]byte(b[20:24])),
+		GIAddr:    netip.AddrFrom4([4]byte(b[24:28])),
+		Options:   make(map[uint8][]byte),
+	}
+	copy(m.CHAddr[:], b[28:34])
+	opts := b[fixedLen+4:]
+	for i := 0; i < len(opts); {
+		code := opts[i]
+		if code == OptEnd {
+			break
+		}
+		if code == optPad {
+			i++
+			continue
+		}
+		if i+1 >= len(opts) {
+			return nil, fmt.Errorf("dhcp4: truncated option %d", code)
+		}
+		l := int(opts[i+1])
+		if i+2+l > len(opts) {
+			return nil, fmt.Errorf("dhcp4: option %d overruns message", code)
+		}
+		m.Options[code] = append([]byte(nil), opts[i+2:i+2+l]...)
+		i += 2 + l
+	}
+	return m, nil
+}
+
+func putAddr4(b []byte, a netip.Addr) {
+	if a.Is4() {
+		v := a.As4()
+		copy(b, v[:])
+	}
+}
+func put32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

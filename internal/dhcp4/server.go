@@ -1,0 +1,232 @@
+package dhcp4
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Lease records one address binding.
+type Lease struct {
+	Addr    netip.Addr
+	CHAddr  [6]byte
+	Expires time.Time
+}
+
+// ServerConfig describes a DHCPv4 scope.
+type ServerConfig struct {
+	ServerID   netip.Addr // the server's own IPv4 address (option 54)
+	PoolStart  netip.Addr
+	PoolEnd    netip.Addr
+	SubnetMask netip.Addr
+	Router     netip.Addr
+	DNS        []netip.Addr
+	DomainName string
+	LeaseTime  time.Duration
+
+	// V6OnlyWait enables RFC 8925: when non-zero, clients that request
+	// option 108 receive it with this wait value and no IPv4 address.
+	V6OnlyWait time.Duration
+}
+
+// Server is a DHCPv4 server with an address pool and lease table. It is
+// message-level: the owning host binds it to UDP port 67 on the fabric.
+type Server struct {
+	cfg ServerConfig
+	now func() time.Time
+
+	leases map[[6]byte]*Lease
+	inUse  map[netip.Addr][6]byte
+
+	// Counters for the experiment harness.
+	Offers        uint64
+	Acks          uint64
+	Naks          uint64
+	Option108Sent uint64
+	PoolExhausted uint64
+}
+
+// NewServer creates a server over cfg using now for lease timing.
+func NewServer(cfg ServerConfig, now func() time.Time) (*Server, error) {
+	if !cfg.ServerID.Is4() || !cfg.PoolStart.Is4() || !cfg.PoolEnd.Is4() {
+		return nil, fmt.Errorf("dhcp4: server needs IPv4 ServerID and pool bounds")
+	}
+	if cfg.PoolStart.Compare(cfg.PoolEnd) > 0 {
+		return nil, fmt.Errorf("dhcp4: pool start %v after end %v", cfg.PoolStart, cfg.PoolEnd)
+	}
+	if cfg.LeaseTime == 0 {
+		cfg.LeaseTime = time.Hour
+	}
+	return &Server{
+		cfg:    cfg,
+		now:    now,
+		leases: make(map[[6]byte]*Lease),
+		inUse:  make(map[netip.Addr][6]byte),
+	}, nil
+}
+
+// Config returns the server's scope configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// LeaseCount returns the number of unexpired leases.
+func (s *Server) LeaseCount() int {
+	n := 0
+	now := s.now()
+	for _, l := range s.leases {
+		if l.Expires.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// LeaseFor returns the active lease for a client MAC, if any.
+func (s *Server) LeaseFor(chaddr [6]byte) (*Lease, bool) {
+	l, ok := s.leases[chaddr]
+	if !ok || !l.Expires.After(s.now()) {
+		return nil, false
+	}
+	return l, true
+}
+
+// Handle processes one client message and returns the reply, or nil when
+// no reply is warranted (e.g. RELEASE, or a REQUEST meant for another
+// server).
+func (s *Server) Handle(req *Message) *Message {
+	if req.Op != OpRequest {
+		return nil
+	}
+	switch req.Type() {
+	case Discover:
+		return s.handleDiscover(req)
+	case Request:
+		return s.handleRequest(req)
+	case Release:
+		s.release(req.CHAddr)
+		return nil
+	case Inform:
+		resp := s.reply(req, ACK)
+		resp.YIAddr = netip.AddrFrom4([4]byte{})
+		return resp
+	default:
+		return nil
+	}
+}
+
+func (s *Server) handleDiscover(req *Message) *Message {
+	// RFC 8925 §3.2: when the client signals IPv6-only capability via the
+	// parameter request list and the scope prefers IPv6-only, answer with
+	// option 108 and do not commit an address.
+	if s.cfg.V6OnlyWait > 0 && req.RequestsOption(OptIPv6OnlyPreferred) {
+		resp := s.reply(req, Offer)
+		resp.SetIPv6OnlyPreferred(uint32(s.cfg.V6OnlyWait / time.Second))
+		s.Option108Sent++
+		s.Offers++
+		return resp
+	}
+	addr, ok := s.allocate(req)
+	if !ok {
+		s.PoolExhausted++
+		return nil // silence: real servers do not NAK a DISCOVER
+	}
+	resp := s.reply(req, Offer)
+	resp.YIAddr = addr
+	s.Offers++
+	return resp
+}
+
+func (s *Server) handleRequest(req *Message) *Message {
+	// Ignore requests addressed to a different server.
+	if sid, ok := req.IPv4Option(OptServerID); ok && sid != s.cfg.ServerID {
+		return nil
+	}
+	want, ok := req.IPv4Option(OptRequestedIP)
+	if !ok {
+		want = req.CIAddr // renewing
+	}
+	lease, has := s.leases[req.CHAddr]
+	if !has || lease.Addr != want || !want.Is4() || want == (netip.AddrFrom4([4]byte{})) {
+		s.Naks++
+		return s.reply(req, NAK)
+	}
+	lease.Expires = s.now().Add(s.cfg.LeaseTime)
+	resp := s.reply(req, ACK)
+	resp.YIAddr = lease.Addr
+	// RFC 8925 also applies to ACKs for clients still asking.
+	if s.cfg.V6OnlyWait > 0 && req.RequestsOption(OptIPv6OnlyPreferred) {
+		resp.SetIPv6OnlyPreferred(uint32(s.cfg.V6OnlyWait / time.Second))
+		s.Option108Sent++
+	}
+	s.Acks++
+	return resp
+}
+
+func (s *Server) release(chaddr [6]byte) {
+	if l, ok := s.leases[chaddr]; ok {
+		delete(s.inUse, l.Addr)
+		delete(s.leases, chaddr)
+	}
+}
+
+// allocate finds or creates a lease for the client.
+func (s *Server) allocate(req *Message) (netip.Addr, bool) {
+	now := s.now()
+	if l, ok := s.leases[req.CHAddr]; ok {
+		l.Expires = now.Add(s.cfg.LeaseTime)
+		return l.Addr, true
+	}
+	// Honor a valid requested address when free.
+	if want, ok := req.IPv4Option(OptRequestedIP); ok && s.inPool(want) {
+		if _, used := s.inUse[want]; !used {
+			return s.commit(req.CHAddr, want), true
+		}
+	}
+	for a := s.cfg.PoolStart; s.inPool(a); a = a.Next() {
+		owner, used := s.inUse[a]
+		if !used {
+			return s.commit(req.CHAddr, a), true
+		}
+		if l, ok := s.leases[owner]; ok && !l.Expires.After(now) {
+			s.release(owner) // reclaim expired lease
+			return s.commit(req.CHAddr, a), true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+func (s *Server) commit(chaddr [6]byte, addr netip.Addr) netip.Addr {
+	s.leases[chaddr] = &Lease{Addr: addr, CHAddr: chaddr, Expires: s.now().Add(s.cfg.LeaseTime)}
+	s.inUse[addr] = chaddr
+	return addr
+}
+
+func (s *Server) inPool(a netip.Addr) bool {
+	return a.Is4() && s.cfg.PoolStart.Compare(a) <= 0 && a.Compare(s.cfg.PoolEnd) <= 0
+}
+
+// reply builds a server response mirroring xid/chaddr and carrying the
+// scope options.
+func (s *Server) reply(req *Message, msgType uint8) *Message {
+	resp := NewMessage(OpReply, req.XID, req.CHAddr)
+	resp.Broadcast = req.Broadcast
+	resp.SetType(msgType)
+	resp.SetIPv4Option(OptServerID, s.cfg.ServerID)
+	if msgType == NAK {
+		return resp
+	}
+	if s.cfg.SubnetMask.Is4() {
+		resp.SetIPv4Option(OptSubnetMask, s.cfg.SubnetMask)
+	}
+	if s.cfg.Router.Is4() {
+		resp.SetIPv4Option(OptRouter, s.cfg.Router)
+	}
+	if len(s.cfg.DNS) > 0 {
+		resp.SetIPv4ListOption(OptDNSServers, s.cfg.DNS...)
+	}
+	if s.cfg.DomainName != "" {
+		resp.Options[OptDomainName] = []byte(s.cfg.DomainName)
+	}
+	secs := uint32(s.cfg.LeaseTime / time.Second)
+	resp.Options[OptLeaseTime] = []byte{byte(secs >> 24), byte(secs >> 16), byte(secs >> 8), byte(secs)}
+	return resp
+}

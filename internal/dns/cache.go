@@ -1,0 +1,88 @@
+package dns
+
+import (
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Cache wraps a resolver with TTL-based positive and negative caching.
+// Time is supplied by the owner (the simulation's virtual clock) so
+// expiry is deterministic in tests.
+type Cache struct {
+	Inner Resolver
+	Now   func() time.Time
+
+	// NegativeTTL bounds how long NXDOMAIN/NODATA responses are kept.
+	NegativeTTL time.Duration
+
+	entries map[cacheKey]*cacheEntry
+
+	// Hits and Misses count lookups for the benchmark harness.
+	Hits   uint64
+	Misses uint64
+}
+
+type cacheKey struct {
+	name  string
+	qtype uint16
+}
+
+type cacheEntry struct {
+	msg     *dnswire.Message
+	expires time.Time
+}
+
+// NewCache builds a cache over inner using now for time.
+func NewCache(inner Resolver, now func() time.Time) *Cache {
+	return &Cache{Inner: inner, Now: now, NegativeTTL: 60 * time.Second, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Resolve serves from cache when fresh, otherwise consults the inner
+// resolver and stores the result for the minimum answer TTL.
+func (c *Cache) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	key := cacheKey{name: dnswire.CanonicalName(q.Name), qtype: q.Type}
+	now := c.Now()
+	if e, ok := c.entries[key]; ok && now.Before(e.expires) {
+		c.Hits++
+		return e.msg, nil
+	}
+	c.Misses++
+	msg, err := c.Inner.Resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	ttl := c.ttlFor(msg)
+	if ttl > 0 {
+		c.entries[key] = &cacheEntry{msg: msg, expires: now.Add(ttl)}
+	}
+	return msg, nil
+}
+
+// Len reports the number of cached entries (fresh or stale).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Flush drops every cached entry.
+func (c *Cache) Flush() { c.entries = make(map[cacheKey]*cacheEntry) }
+
+func (c *Cache) ttlFor(msg *dnswire.Message) time.Duration {
+	if msg.Rcode != dnswire.RcodeSuccess || len(msg.Answers) == 0 {
+		// Negative caching (RFC 2308): bound by SOA minimum when present.
+		neg := c.NegativeTTL
+		for _, rr := range msg.Authorities {
+			if rr.Type == dnswire.TypeSOA && rr.SOA != nil {
+				if soaTTL := time.Duration(rr.SOA.Minimum) * time.Second; soaTTL < neg {
+					neg = soaTTL
+				}
+			}
+		}
+		return neg
+	}
+	minTTL := msg.Answers[0].TTL
+	for _, rr := range msg.Answers[1:] {
+		if rr.TTL < minTTL {
+			minTTL = rr.TTL
+		}
+	}
+	return time.Duration(minTTL) * time.Second
+}

@@ -1,0 +1,68 @@
+package dns
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
+	calls := 0
+	inner := ResolverFunc(func(dnswire.Question) (*dnswire.Message, error) {
+		calls++
+		return nil, errors.New("upstream down")
+	})
+	c := NewCache(inner, func() time.Time { return now })
+	for i := 0; i < 3; i++ {
+		if _, err := c.Resolve(q("x.test", dnswire.TypeA)); err == nil {
+			t.Fatal("error swallowed")
+		}
+	}
+	if calls != 3 {
+		t.Errorf("errors were cached: calls = %d", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache entries = %d after errors", c.Len())
+	}
+}
+
+func TestCacheZeroTTLNotCached(t *testing.T) {
+	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
+	calls := 0
+	inner := ResolverFunc(func(qq dnswire.Question) (*dnswire.Message, error) {
+		calls++
+		resp := NoError()
+		resp.Answers = []dnswire.RR{{Name: qq.Name, Type: dnswire.TypeA, TTL: 0, Addr: netip.MustParseAddr("1.2.3.4")}}
+		return resp, nil
+	})
+	c := NewCache(inner, func() time.Time { return now })
+	mustResolve(t, c, q("zero.test", dnswire.TypeA))
+	mustResolve(t, c, q("zero.test", dnswire.TypeA))
+	if calls != 2 {
+		t.Errorf("TTL-0 answer was cached: calls = %d", calls)
+	}
+}
+
+func TestCacheNegativeDefaultTTL(t *testing.T) {
+	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
+	calls := 0
+	inner := ResolverFunc(func(dnswire.Question) (*dnswire.Message, error) {
+		calls++
+		return NXDomain(), nil // no SOA: the cache's own NegativeTTL applies
+	})
+	c := NewCache(inner, func() time.Time { return now })
+	mustResolve(t, c, q("gone.test", dnswire.TypeA))
+	mustResolve(t, c, q("gone.test", dnswire.TypeA))
+	if calls != 1 {
+		t.Errorf("bare NXDOMAIN not negative-cached: calls = %d", calls)
+	}
+	now = now.Add(61 * time.Second)
+	mustResolve(t, c, q("gone.test", dnswire.TypeA))
+	if calls != 2 {
+		t.Errorf("negative default TTL not honored: calls = %d", calls)
+	}
+}

@@ -1,0 +1,78 @@
+package dns
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnswire"
+)
+
+// Property: zone resolution is total — arbitrary query names never
+// panic and always yield a well-formed response or an explicit error.
+func TestZoneResolveTotal(t *testing.T) {
+	z := NewZone("example.com")
+	z.MustAdd(dnswire.RR{Name: "www", Type: dnswire.TypeA, TTL: 60, Addr: netip.MustParseAddr("192.0.2.1")})
+	z.MustAdd(dnswire.RR{Name: "*", Type: dnswire.TypeAAAA, TTL: 60, Addr: netip.MustParseAddr("2001:db8::1")})
+	z.MustAdd(dnswire.RR{Name: "alias", Type: dnswire.TypeCNAME, Target: "www.example.com"})
+
+	prop := func(rawName []byte, qtype uint16) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		name := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r == '.' || r == '-' || r >= '0' && r <= '9' {
+				return r
+			}
+			return 'x'
+		}, string(rawName))
+		resp, err := z.Resolve(dnswire.Question{Name: name + ".example.com", Type: qtype, Class: dnswire.ClassIN})
+		if err != nil {
+			return true // explicit error (e.g. CNAME loop) is fine
+		}
+		// Every response must be NOERROR or NXDOMAIN and marshalable.
+		if resp.Rcode != dnswire.RcodeSuccess && resp.Rcode != dnswire.RcodeNXDomain {
+			return false
+		}
+		resp.Questions = []dnswire.Question{{Name: "q.example.com", Type: qtype, Class: dnswire.ClassIN}}
+		_, merr := resp.Marshal()
+		return merr == nil || len(name) > 200 // very long names legitimately fail to marshal
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: wildcard answers always carry the query name as owner.
+func TestWildcardOwnerNameProperty(t *testing.T) {
+	z := NewZone("w.example")
+	z.MustAdd(dnswire.RR{Name: "*", Type: dnswire.TypeA, TTL: 60, Addr: netip.MustParseAddr("192.0.2.9")})
+	f := func(label uint16) bool {
+		name := "h" + itoa(int(label)) + ".w.example."
+		resp, err := z.Resolve(dnswire.Question{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN})
+		if err != nil || len(resp.Answers) != 1 {
+			return false
+		}
+		return resp.Answers[0].Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

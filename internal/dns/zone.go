@@ -1,0 +1,247 @@
+package dns
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// Zone is an authoritative zone: an origin, an SOA, and a record set
+// supporting CNAME chasing and leftmost wildcards ("*.origin").
+type Zone struct {
+	Origin  string
+	SOA     dnswire.SOAData
+	records map[string][]dnswire.RR
+	// nonTerminals holds every ancestor of an owner name, so the
+	// NXDOMAIN-vs-NODATA decision is O(1) instead of a record scan.
+	nonTerminals map[string]bool
+}
+
+// NewZone creates an empty zone rooted at origin with a default SOA.
+func NewZone(origin string) *Zone {
+	origin = dnswire.CanonicalName(origin)
+	return &Zone{
+		Origin: origin,
+		SOA: dnswire.SOAData{
+			MName:   "ns1." + strings.TrimPrefix(origin, "."),
+			RName:   "hostmaster." + strings.TrimPrefix(origin, "."),
+			Serial:  2024111701,
+			Refresh: 3600, Retry: 600, Expire: 86400, Minimum: 60,
+		},
+		records:      make(map[string][]dnswire.RR),
+		nonTerminals: make(map[string]bool),
+	}
+}
+
+// Add inserts a record. The name may be relative to the origin ("www"),
+// absolute ("www.example.com."), "@" for the origin itself, or a
+// wildcard ("*" / "*.sub").
+func (z *Zone) Add(rr dnswire.RR) error {
+	name := z.qualify(rr.Name)
+	if !dnswire.IsSubdomain(strings.TrimPrefix(name, "*."), z.Origin) {
+		return fmt.Errorf("dns: %q is out of zone %q", rr.Name, z.Origin)
+	}
+	rr.Name = name
+	if rr.TTL == 0 {
+		rr.TTL = 300
+	}
+	z.records[name] = append(z.records[name], rr)
+	// Record every ancestor between the owner and the origin as an empty
+	// non-terminal candidate.
+	labels := dnswire.SplitLabels(name)
+	for i := 1; i < len(labels); i++ {
+		anc := strings.Join(labels[i:], ".") + "."
+		if !dnswire.IsSubdomain(anc, z.Origin) {
+			break
+		}
+		z.nonTerminals[anc] = true
+	}
+	return nil
+}
+
+// MustAdd is Add for static zone construction; it panics on bad records.
+func (z *Zone) MustAdd(rr dnswire.RR) {
+	if err := z.Add(rr); err != nil {
+		panic(err)
+	}
+}
+
+// AddA adds an A record for a relative or absolute name.
+func (z *Zone) AddA(name string, addr netip.Addr, ttl uint32) error {
+	return z.Add(dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: ttl, Addr: addr})
+}
+
+// AddAAAA adds an AAAA record.
+func (z *Zone) AddAAAA(name string, addr netip.Addr, ttl uint32) error {
+	return z.Add(dnswire.RR{Name: name, Type: dnswire.TypeAAAA, TTL: ttl, Addr: addr})
+}
+
+// AddCNAME adds a CNAME record.
+func (z *Zone) AddCNAME(name, target string) error {
+	return z.Add(dnswire.RR{Name: name, Type: dnswire.TypeCNAME, Target: dnswire.CanonicalName(target)})
+}
+
+// Names returns all owner names in the zone, sorted.
+func (z *Zone) Names() []string {
+	out := make([]string, 0, len(z.records))
+	for n := range z.records {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (z *Zone) qualify(name string) string {
+	name = strings.TrimSpace(strings.ToLower(name))
+	if name == "@" || name == "" {
+		return z.Origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnswire.CanonicalName(name)
+	}
+	return dnswire.CanonicalName(name + "." + strings.TrimPrefix(z.Origin, "."))
+}
+
+// soaRR renders the zone's SOA as a record for authority sections.
+func (z *Zone) soaRR() dnswire.RR {
+	return dnswire.RR{Name: z.Origin, Type: dnswire.TypeSOA, TTL: z.SOA.Minimum, SOA: &z.SOA}
+}
+
+// Resolve answers a question authoritatively, chasing CNAME chains and
+// falling back to wildcard records. Nonexistent names yield NXDOMAIN
+// with the SOA in the authority section; existing names with no records
+// of the requested type yield NODATA.
+func (z *Zone) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	resp := NoError()
+	resp.Authoritative = true
+
+	name := dnswire.CanonicalName(q.Name)
+	seen := make(map[string]bool)
+	for hop := 0; hop < 16; hop++ {
+		if seen[name] {
+			return nil, fmt.Errorf("dns: CNAME loop at %q", name)
+		}
+		seen[name] = true
+
+		rrs, exists := z.lookup(name)
+		if !exists {
+			resp.Rcode = dnswire.RcodeNXDomain
+			resp.Authorities = append(resp.Authorities, z.soaRR())
+			return resp, nil
+		}
+		var cname *dnswire.RR
+		matched := false
+		for i := range rrs {
+			rr := rrs[i]
+			rr.Name = name // materialize wildcard owner names
+			if rr.Type == q.Type || q.Type == dnswire.TypeANY {
+				resp.Answers = append(resp.Answers, rr)
+				matched = true
+			} else if rr.Type == dnswire.TypeCNAME {
+				cname = &rr
+			}
+		}
+		if matched || cname == nil || q.Type == dnswire.TypeCNAME {
+			if !matched {
+				resp.Authorities = append(resp.Authorities, z.soaRR())
+			}
+			return resp, nil
+		}
+		// Follow the CNAME: emit it and continue at the target.
+		resp.Answers = append(resp.Answers, *cname)
+		if !dnswire.IsSubdomain(cname.Target, z.Origin) {
+			// Target out of zone: the client must chase it elsewhere.
+			return resp, nil
+		}
+		name = cname.Target
+	}
+	return nil, fmt.Errorf("dns: CNAME chain too long for %q", q.Name)
+}
+
+// lookup finds records for name, trying exact match then wildcard
+// synthesis per RFC 1034 §4.3.3. exists reports whether the name (or a
+// covering wildcard) is present at all.
+func (z *Zone) lookup(name string) (rrs []dnswire.RR, exists bool) {
+	if rrs, ok := z.records[name]; ok {
+		return rrs, true
+	}
+	// An empty non-terminal (a name under which records exist) is NODATA,
+	// not NXDOMAIN.
+	if z.nonTerminals[name] {
+		return nil, true
+	}
+	// Wildcard: replace leading labels with * progressively.
+	labels := dnswire.SplitLabels(name)
+	for i := 1; i < len(labels); i++ {
+		cand := "*." + strings.Join(labels[i:], ".") + "."
+		if rrs, ok := z.records[cand]; ok {
+			return rrs, true
+		}
+	}
+	return nil, false
+}
+
+// Authority routes questions to the longest-matching of several zones
+// and refuses questions outside all of them (like an authoritative-only
+// BIND view).
+type Authority struct {
+	zones []*Zone
+}
+
+// NewAuthority builds an authority over the given zones.
+func NewAuthority(zones ...*Zone) *Authority {
+	return &Authority{zones: zones}
+}
+
+// AddZone registers another zone.
+func (a *Authority) AddZone(z *Zone) { a.zones = append(a.zones, z) }
+
+// Match returns the zone with the longest origin containing name, or nil.
+func (a *Authority) Match(name string) *Zone {
+	var best *Zone
+	for _, z := range a.zones {
+		if dnswire.IsSubdomain(name, z.Origin) {
+			if best == nil || len(z.Origin) > len(best.Origin) {
+				best = z
+			}
+		}
+	}
+	return best
+}
+
+// Resolve answers from the matching zone, or REFUSED when out of zone.
+func (a *Authority) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	z := a.Match(dnswire.CanonicalName(q.Name))
+	if z == nil {
+		resp := NoError()
+		resp.Rcode = dnswire.RcodeRefused
+		return resp, nil
+	}
+	return z.Resolve(q)
+}
+
+// Recursive combines an Authority for local zones with a fallback
+// resolver for everything else — the shape of the testbed's healthy
+// Raspberry Pi DNS64 server (local rfc8925.com zone + upstream
+// recursion).
+type Recursive struct {
+	Local    *Authority
+	Fallback Resolver
+}
+
+// Resolve tries the local authority first; out-of-zone questions go to
+// the fallback.
+func (r *Recursive) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	if r.Local != nil {
+		if z := r.Local.Match(dnswire.CanonicalName(q.Name)); z != nil {
+			return z.Resolve(q)
+		}
+	}
+	if r.Fallback == nil {
+		return nil, ErrNoUpstream
+	}
+	return r.Fallback.Resolve(q)
+}

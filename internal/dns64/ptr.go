@@ -1,0 +1,87 @@
+package dns64
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+// ReverseName returns the PTR owner name for an address:
+// in-addr.arpa for IPv4 and nibble-format ip6.arpa for IPv6.
+func ReverseName(a netip.Addr) string {
+	if a.Is4() {
+		v := a.As4()
+		return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa.", v[3], v[2], v[1], v[0])
+	}
+	b := a.As16()
+	var sb strings.Builder
+	for i := 15; i >= 0; i-- {
+		fmt.Fprintf(&sb, "%x.%x.", b[i]&0xf, b[i]>>4)
+	}
+	sb.WriteString("ip6.arpa.")
+	return sb.String()
+}
+
+// ParseIP6Arpa recovers the IPv6 address encoded by a nibble-format
+// ip6.arpa name; ok is false for anything else.
+func ParseIP6Arpa(name string) (netip.Addr, bool) {
+	name = dnswire.CanonicalName(name)
+	rest, found := strings.CutSuffix(name, ".ip6.arpa.")
+	if !found {
+		return netip.Addr{}, false
+	}
+	labels := strings.Split(rest, ".")
+	if len(labels) != 32 {
+		return netip.Addr{}, false
+	}
+	var b [16]byte
+	for i, l := range labels {
+		if len(l) != 1 {
+			return netip.Addr{}, false
+		}
+		n, err := strconv.ParseUint(l, 16, 8)
+		if err != nil {
+			return netip.Addr{}, false
+		}
+		// labels run least-significant nibble first
+		byteIdx := 15 - i/2
+		if i%2 == 0 {
+			b[byteIdx] |= byte(n)
+		} else {
+			b[byteIdx] |= byte(n) << 4
+		}
+	}
+	return netip.AddrFrom16(b), true
+}
+
+// resolvePTR implements RFC 6147 §5.3: a PTR query for an address inside
+// the translation prefix is answered with a synthesized CNAME into the
+// corresponding in-addr.arpa name plus the upstream's PTR data for it.
+func (r *Resolver) resolvePTR(q dnswire.Question) (*dnswire.Message, error) {
+	addr, ok := ParseIP6Arpa(q.Name)
+	if !ok {
+		return r.Inner.Resolve(q)
+	}
+	v4, ok := Extract(r.Prefix, addr)
+	if !ok {
+		return r.Inner.Resolve(q)
+	}
+	target := ReverseName(v4)
+	out := dns.NoError()
+	out.Answers = append(out.Answers, dnswire.RR{
+		Name: dnswire.CanonicalName(q.Name), Type: dnswire.TypeCNAME,
+		Class: dnswire.ClassIN, TTL: r.SynthTTL, Target: target,
+	})
+	upstream, err := r.Inner.Resolve(dnswire.Question{Name: target, Type: dnswire.TypePTR, Class: q.Class})
+	if err != nil {
+		return nil, err
+	}
+	if upstream.Rcode == dnswire.RcodeSuccess {
+		out.Answers = append(out.Answers, upstream.Answers...)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package dns64
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+func TestReverseNameV4(t *testing.T) {
+	got := ReverseName(netip.MustParseAddr("190.92.158.4"))
+	if got != "4.158.92.190.in-addr.arpa." {
+		t.Errorf("ReverseName = %q", got)
+	}
+}
+
+func TestReverseNameV6(t *testing.T) {
+	got := ReverseName(netip.MustParseAddr("64:ff9b::be5c:9e04"))
+	want := "4.0.e.9.c.5.e.b.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.b.9.f.f.4.6.0.0.ip6.arpa."
+	if got != want {
+		t.Errorf("ReverseName = %q, want %q", got, want)
+	}
+}
+
+func TestParseIP6ArpaRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		a := netip.AddrFrom16(b)
+		back, ok := ParseIP6Arpa(ReverseName(a))
+		return ok && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIP6ArpaRejectsGarbage(t *testing.T) {
+	for _, name := range []string{
+		"example.com.",
+		"4.158.92.190.in-addr.arpa.",
+		"1.2.3.ip6.arpa.", // too few labels
+		"xx." + ReverseName(netip.MustParseAddr("::1"))[3:], // bad nibble
+	} {
+		if _, ok := ParseIP6Arpa(name); ok {
+			t.Errorf("accepted %q", name)
+		}
+	}
+}
+
+func TestPTRSynthesisForPrefixAddress(t *testing.T) {
+	// Upstream knows the reverse mapping of the IPv4 address.
+	upstream := dns.NewStatic(dnswire.RR{
+		Name: "4.158.92.190.in-addr.arpa.", Type: dnswire.TypePTR, TTL: 300,
+		Target: "sc24.supercomputing.org.",
+	})
+	r := New(upstream)
+
+	synth, _ := Synthesize(WellKnownPrefix, netip.MustParseAddr("190.92.158.4"))
+	resp, err := r.Resolve(dnswire.Question{Name: ReverseName(synth), Type: dnswire.TypePTR, Class: dnswire.ClassIN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+	if resp.Answers[0].Type != dnswire.TypeCNAME || resp.Answers[0].Target != "4.158.92.190.in-addr.arpa." {
+		t.Errorf("CNAME = %+v", resp.Answers[0])
+	}
+	if resp.Answers[1].Type != dnswire.TypePTR || resp.Answers[1].Target != "sc24.supercomputing.org." {
+		t.Errorf("PTR = %+v", resp.Answers[1])
+	}
+}
+
+func TestPTROutsidePrefixPassesThrough(t *testing.T) {
+	upstream := dns.NewStatic(dnswire.RR{
+		Name: ReverseName(netip.MustParseAddr("2001:db8::1")), Type: dnswire.TypePTR, TTL: 300,
+		Target: "native.example.",
+	})
+	r := New(upstream)
+	resp, err := r.Resolve(dnswire.Question{
+		Name: ReverseName(netip.MustParseAddr("2001:db8::1")), Type: dnswire.TypePTR, Class: dnswire.ClassIN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Target != "native.example." {
+		t.Errorf("answers = %+v", resp.Answers)
+	}
+}
+
+func TestPTRV4PassesThrough(t *testing.T) {
+	upstream := dns.NewStatic(dnswire.RR{
+		Name: "4.158.92.190.in-addr.arpa.", Type: dnswire.TypePTR, TTL: 300,
+		Target: "sc24.supercomputing.org.",
+	})
+	r := New(upstream)
+	resp, err := r.Resolve(dnswire.Question{
+		Name: "4.158.92.190.in-addr.arpa.", Type: dnswire.TypePTR, Class: dnswire.ClassIN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Target != "sc24.supercomputing.org." {
+		t.Errorf("answers = %+v", resp.Answers)
+	}
+}

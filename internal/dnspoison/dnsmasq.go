@@ -1,0 +1,99 @@
+package dnspoison
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+// DnsmasqConfig is the parsed form of the paper's two-line dnsmasq
+// configuration:
+//
+//	address=/#/23.153.8.71
+//	server=192.168.12.251
+//
+// Only the directives the testbed used are supported; anything else is
+// rejected loudly so a config drift is noticed.
+type DnsmasqConfig struct {
+	// Redirect is the wildcard A answer from "address=/#/X".
+	Redirect netip.Addr
+	// Upstream is the forwarding target from "server=X".
+	Upstream netip.Addr
+	// Exempt holds domains from "address=/name/..." exemption-style
+	// entries mapped to themselves (parsed but rare).
+	Exempt []string
+}
+
+// ParseDnsmasqConfig parses the subset of dnsmasq syntax the paper's
+// deployment used. Comments (#...) and blank lines are ignored.
+func ParseDnsmasqConfig(text string) (*DnsmasqConfig, error) {
+	cfg := &DnsmasqConfig{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("dnsmasq line %d: no '=' in %q", lineNo+1, line)
+		}
+		switch key {
+		case "address":
+			// address=/<match>/<answer>
+			parts := strings.Split(val, "/")
+			if len(parts) != 3 || parts[0] != "" {
+				return nil, fmt.Errorf("dnsmasq line %d: bad address directive %q", lineNo+1, line)
+			}
+			match, answer := parts[1], parts[2]
+			addr, err := netip.ParseAddr(answer)
+			if err != nil {
+				return nil, fmt.Errorf("dnsmasq line %d: %v", lineNo+1, err)
+			}
+			if match == "#" {
+				cfg.Redirect = addr
+			} else {
+				// Domain-scoped address rules are out of the testbed's scope;
+				// record the domain so callers can see what was configured.
+				cfg.Exempt = append(cfg.Exempt, match)
+			}
+		case "server":
+			addr, err := netip.ParseAddr(val)
+			if err != nil {
+				return nil, fmt.Errorf("dnsmasq line %d: %v", lineNo+1, err)
+			}
+			cfg.Upstream = addr
+		default:
+			return nil, fmt.Errorf("dnsmasq line %d: unsupported directive %q", lineNo+1, key)
+		}
+	}
+	if !cfg.Redirect.IsValid() {
+		return nil, fmt.Errorf("dnsmasq: missing address=/#/<addr> directive")
+	}
+	return cfg, nil
+}
+
+// NewWildcardFromConfig builds the poisoner from dnsmasq syntax. The
+// dial callback turns the "server=" address into a usable resolver (in
+// the testbed, a wire-forwarding stub toward the healthy DNS64).
+func NewWildcardFromConfig(text string, dial func(netip.Addr) dns.Resolver) (*Wildcard, *DnsmasqConfig, error) {
+	cfg, err := ParseDnsmasqConfig(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	var upstream dns.Resolver
+	if cfg.Upstream.IsValid() && dial != nil {
+		upstream = dial(cfg.Upstream)
+	}
+	w := NewWildcard(upstream)
+	w.Redirect = cfg.Redirect
+	if len(cfg.Exempt) > 0 {
+		w.Exempt = make(map[string]bool, len(cfg.Exempt))
+		for _, d := range cfg.Exempt {
+			w.Exempt[dnswire.CanonicalName(d)] = true
+		}
+	}
+	return w, cfg, nil
+}

@@ -1,0 +1,86 @@
+package dnspoison
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+// paperConfig is the exact two-line configuration from the paper's §VI.
+const paperConfig = `address=/#/23.153.8.71
+server=192.168.12.251`
+
+func TestParsePaperConfig(t *testing.T) {
+	cfg, err := ParseDnsmasqConfig(paperConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Redirect != netip.MustParseAddr("23.153.8.71") {
+		t.Errorf("redirect = %v", cfg.Redirect)
+	}
+	if cfg.Upstream != netip.MustParseAddr("192.168.12.251") {
+		t.Errorf("upstream = %v", cfg.Upstream)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	cfg, err := ParseDnsmasqConfig("# poisoned testbed config\n\naddress=/#/23.153.8.71\n# upstream\nserver=192.168.12.251\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Redirect.IsValid() || !cfg.Upstream.IsValid() {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"address=/#/not-an-ip",
+		"address=bad",
+		"server=not-an-ip",
+		"bogus-directive=1",
+		"no equals sign",
+		"server=192.168.12.251", // missing the wildcard address rule
+	} {
+		if _, err := ParseDnsmasqConfig(text); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestParseDomainScopedAddress(t *testing.T) {
+	cfg, err := ParseDnsmasqConfig("address=/#/23.153.8.71\naddress=/helpdesk.example/10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Exempt) != 1 || cfg.Exempt[0] != "helpdesk.example" {
+		t.Errorf("exempt = %v", cfg.Exempt)
+	}
+}
+
+func TestNewWildcardFromConfig(t *testing.T) {
+	upstream := dns.NewStatic(dnswire.RR{
+		Name: "dual.example", Type: dnswire.TypeAAAA, TTL: 60, Addr: netip.MustParseAddr("2001:db8::7"),
+	})
+	var dialed netip.Addr
+	w, cfg, err := NewWildcardFromConfig(paperConfig, func(a netip.Addr) dns.Resolver {
+		dialed = a
+		return upstream
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dialed != cfg.Upstream {
+		t.Errorf("dialed %v", dialed)
+	}
+	resp, err := w.Resolve(dnswire.Question{Name: "anything.example", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if err != nil || len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("23.153.8.71") {
+		t.Errorf("poisoned A = %+v err=%v", resp, err)
+	}
+	resp, err = w.Resolve(dnswire.Question{Name: "dual.example", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN})
+	if err != nil || len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("2001:db8::7") {
+		t.Errorf("forwarded AAAA = %+v err=%v", resp, err)
+	}
+}

@@ -1,0 +1,305 @@
+package dnswire
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"":                   ".",
+		".":                  ".",
+		"Example.COM":        "example.com.",
+		"ip6.me.":            "ip6.me.",
+		" vpn.anl.gov ":      "vpn.anl.gov.",
+		"SC24.RFC8925.com":   "sc24.rfc8925.com.",
+		"test-ipv6.com":      "test-ipv6.com.",
+		"a.b.c.d.e.f.g.h.i.": "a.b.c.d.e.f.g.h.i.",
+	}
+	for in, want := range cases {
+		if got := CanonicalName(in); got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitLabels(t *testing.T) {
+	got := SplitLabels("www.Example.com.")
+	want := []string{"www", "example", "com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitLabels = %v, want %v", got, want)
+	}
+	if SplitLabels(".") != nil {
+		t.Error("SplitLabels(root) should be nil")
+	}
+}
+
+func TestIsSubdomain(t *testing.T) {
+	cases := []struct {
+		child, parent string
+		want          bool
+	}{
+		{"www.anl.gov", "anl.gov", true},
+		{"anl.gov", "anl.gov", true},
+		{"notanl.gov", "anl.gov", false},
+		{"anl.gov", "www.anl.gov", false},
+		{"anything.example", ".", true},
+		{"deep.a.b.rfc8925.com", "rfc8925.com", true},
+	}
+	for _, c := range cases {
+		if got := IsSubdomain(c.child, c.parent); got != c.want {
+			t.Errorf("IsSubdomain(%q, %q) = %v, want %v", c.child, c.parent, got, c.want)
+		}
+	}
+}
+
+func mustMarshal(t *testing.T, m *Message) []byte {
+	t.Helper()
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return b
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "sc24.supercomputing.org", TypeAAAA)
+	out, err := Parse(mustMarshal(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 0x1234 || out.Response || !out.RecursionDesired {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	if len(out.Questions) != 1 {
+		t.Fatalf("questions = %d", len(out.Questions))
+	}
+	if out.Questions[0].Name != "sc24.supercomputing.org." || out.Questions[0].Type != TypeAAAA {
+		t.Errorf("question = %+v", out.Questions[0])
+	}
+}
+
+func TestResponseRoundTripAllRRTypes(t *testing.T) {
+	q := NewQuery(7, "host.rfc8925.com", TypeANY)
+	r := ReplyTo(q)
+	r.Authoritative = true
+	r.Answers = []RR{
+		{Name: "host.rfc8925.com", Type: TypeA, TTL: 60, Addr: netip.MustParseAddr("23.153.8.71")},
+		{Name: "host.rfc8925.com", Type: TypeAAAA, TTL: 60, Addr: netip.MustParseAddr("64:ff9b::be5c:9e04")},
+		{Name: "alias.rfc8925.com", Type: TypeCNAME, TTL: 30, Target: "host.rfc8925.com"},
+		{Name: "host.rfc8925.com", Type: TypeTXT, TTL: 10, Txt: []string{"v=test", "second string"}},
+	}
+	r.Authorities = []RR{
+		{Name: "rfc8925.com", Type: TypeNS, TTL: 300, Target: "ns1.rfc8925.com"},
+		{Name: "rfc8925.com", Type: TypeSOA, TTL: 300, SOA: &SOAData{
+			MName: "ns1.rfc8925.com", RName: "hostmaster.rfc8925.com",
+			Serial: 2024111701, Refresh: 3600, Retry: 600, Expire: 86400, Minimum: 60,
+		}},
+	}
+	r.Additionals = []RR{
+		{Name: "ns1.rfc8925.com", Type: TypeA, TTL: 300, Addr: netip.MustParseAddr("192.168.12.251")},
+	}
+
+	out, err := Parse(mustMarshal(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Response || !out.Authoritative || out.ID != 7 {
+		t.Errorf("header: %+v", out)
+	}
+	if len(out.Answers) != 4 || len(out.Authorities) != 2 || len(out.Additionals) != 1 {
+		t.Fatalf("sections: %d/%d/%d", len(out.Answers), len(out.Authorities), len(out.Additionals))
+	}
+	if out.Answers[0].Addr != netip.MustParseAddr("23.153.8.71") {
+		t.Errorf("A = %v", out.Answers[0].Addr)
+	}
+	if out.Answers[1].Addr != netip.MustParseAddr("64:ff9b::be5c:9e04") {
+		t.Errorf("AAAA = %v", out.Answers[1].Addr)
+	}
+	if out.Answers[2].Target != "host.rfc8925.com." {
+		t.Errorf("CNAME target = %q", out.Answers[2].Target)
+	}
+	if !reflect.DeepEqual(out.Answers[3].Txt, []string{"v=test", "second string"}) {
+		t.Errorf("TXT = %v", out.Answers[3].Txt)
+	}
+	soa := out.Authorities[1].SOA
+	if soa == nil || soa.Serial != 2024111701 || soa.MName != "ns1.rfc8925.com." {
+		t.Errorf("SOA = %+v", soa)
+	}
+}
+
+func TestNameCompressionActuallyCompresses(t *testing.T) {
+	r := &Message{ID: 1, Response: true}
+	for i := 0; i < 10; i++ {
+		r.Answers = append(r.Answers, RR{
+			Name: "very.long.subdomain.of.rfc8925.com", Type: TypeA, TTL: 60,
+			Addr: netip.MustParseAddr("192.0.2.1"),
+		})
+	}
+	b := mustMarshal(t, r)
+	// Uncompressed: 12 + 10*(36 name + 10 fixed + 4 rdata) = 512 bytes.
+	// Compressed: 12 + (36+10+4) + 9*(2 pointer + 10 + 4) = 206 bytes.
+	if len(b) > 206 {
+		t.Errorf("message length %d suggests compression is not working", len(b))
+	}
+	out, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range out.Answers {
+		if rr.Name != "very.long.subdomain.of.rfc8925.com." {
+			t.Fatalf("decompressed name = %q", rr.Name)
+		}
+	}
+}
+
+func TestCompressionPointerLoopRejected(t *testing.T) {
+	// Build a message whose question name is a pointer to itself.
+	b := make([]byte, 16)
+	put16(b[0:], 1)
+	put16(b[4:], 1)  // one question
+	b[12] = 0xc0     // pointer ...
+	b[13] = 12       // ... to itself
+	put16(b[14:], 1) // qtype/class truncated but name fails first
+	if _, err := Parse(b); err == nil {
+		t.Error("self-referential pointer accepted")
+	}
+}
+
+func TestForwardPointerRejected(t *testing.T) {
+	b := make([]byte, 18)
+	put16(b[0:], 1)
+	put16(b[4:], 1)
+	b[12] = 0xc0
+	b[13] = 14 // points forward past itself
+	if _, err := Parse(b); err == nil {
+		t.Error("forward pointer accepted")
+	}
+}
+
+func TestBadLabelLength(t *testing.T) {
+	long := strings.Repeat("a", 64)
+	q := NewQuery(1, long+".example.com", TypeA)
+	if _, err := q.Marshal(); err == nil {
+		t.Error("64-byte label accepted")
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	name := strings.Repeat("abcdefgh.", 32) + "com"
+	q := NewQuery(1, name, TypeA)
+	if _, err := q.Marshal(); err == nil {
+		t.Error("over-255-byte name accepted")
+	}
+}
+
+func TestARecordRequiresV4(t *testing.T) {
+	m := &Message{Answers: []RR{{Name: "x.com", Type: TypeA, Addr: netip.MustParseAddr("::1")}}}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("A record with IPv6 address accepted")
+	}
+	m = &Message{Answers: []RR{{Name: "x.com", Type: TypeAAAA, Addr: netip.MustParseAddr("1.2.3.4")}}}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("AAAA record with IPv4 address accepted")
+	}
+}
+
+func TestNXDomainRoundTrip(t *testing.T) {
+	q := NewQuery(99, "doesnotexist.anl.gov", TypeA)
+	r := ReplyTo(q)
+	r.Rcode = RcodeNXDomain
+	out, err := Parse(mustMarshal(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rcode != RcodeNXDomain {
+		t.Errorf("rcode = %s", RcodeString(out.Rcode))
+	}
+}
+
+func TestTruncatedHeaderRejected(t *testing.T) {
+	if _, err := Parse(make([]byte, 11)); err == nil {
+		t.Error("11-byte message accepted")
+	}
+}
+
+func TestTruncatedQuestionRejected(t *testing.T) {
+	b := mustMarshal(t, NewQuery(5, "example.com", TypeA))
+	for i := 13; i < len(b); i++ {
+		if _, err := Parse(b[:i]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", i)
+		}
+	}
+}
+
+func TestTypeAndRcodeStrings(t *testing.T) {
+	if TypeString(TypeAAAA) != "AAAA" || TypeString(4242) != "TYPE4242" {
+		t.Error("TypeString wrong")
+	}
+	if RcodeString(RcodeNXDomain) != "NXDOMAIN" || RcodeString(14) != "RCODE14" {
+		t.Error("RcodeString wrong")
+	}
+}
+
+func TestRRString(t *testing.T) {
+	rr := RR{Name: "ip6.me", Type: TypeA, TTL: 60, Addr: netip.MustParseAddr("23.153.8.71")}
+	if got := rr.String(); got != "ip6.me. 60 IN A 23.153.8.71" {
+		t.Errorf("RR.String() = %q", got)
+	}
+}
+
+// Property: query marshalling round-trips for arbitrary IDs and types
+// over a fixed set of plausible names.
+func TestQueryRoundTripProperty(t *testing.T) {
+	names := []string{"ip6.me", "test-ipv6.com", "sc24.supercomputing.org", "vpn.anl.gov", "a.b.c.d.example"}
+	f := func(id uint16, qtype uint16, nameIdx uint8, rd bool) bool {
+		name := names[int(nameIdx)%len(names)]
+		q := NewQuery(id, name, qtype)
+		q.RecursionDesired = rd
+		b, err := q.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Parse(b)
+		if err != nil {
+			return false
+		}
+		return out.ID == id && out.Questions[0].Type == qtype &&
+			out.Questions[0].Name == CanonicalName(name) &&
+			out.RecursionDesired == rd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: A/AAAA answers round-trip for arbitrary addresses.
+func TestAddressRRRoundTripProperty(t *testing.T) {
+	f := func(a4 [4]byte, a16 [16]byte, ttl uint32) bool {
+		v4 := netip.AddrFrom4(a4)
+		v6 := netip.AddrFrom16(a16)
+		if v6.Is4In6() {
+			return true // AddrFrom16 of a v4-mapped value unwraps to Is4; skip
+		}
+		m := &Message{Response: true, Answers: []RR{
+			{Name: "p.example", Type: TypeA, TTL: ttl, Addr: v4},
+			{Name: "p.example", Type: TypeAAAA, TTL: ttl, Addr: v6},
+		}}
+		b, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Parse(b)
+		if err != nil {
+			return false
+		}
+		return out.Answers[0].Addr == v4 && out.Answers[1].Addr == v6 &&
+			out.Answers[0].TTL == ttl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package dnswire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parse must be total over arbitrary bytes: clients feed it whatever
+// lands on UDP port 53.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		if m, err := Parse(data); err == nil {
+			// Anything parsed must re-marshal (possibly erroring) without
+			// panicking either.
+			_, _ = m.Marshal()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parse must be total even over inputs that start like real messages.
+func TestParseTruncationsOfValidMessageNeverPanic(t *testing.T) {
+	q := NewQuery(7, "sc24.supercomputing.org", TypeAAAA)
+	r := ReplyTo(q)
+	r.Answers = []RR{{Name: "sc24.supercomputing.org", Type: TypeCNAME, TTL: 1, Target: "alias.example"}}
+	wire, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= len(wire); i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic at truncation %d: %v", i, rec)
+				}
+			}()
+			_, _ = Parse(wire[:i])
+		}()
+	}
+	// Single-byte corruptions too.
+	for i := 0; i < len(wire); i++ {
+		for _, b := range []byte{0x00, 0xff, 0xc0} {
+			mut := append([]byte(nil), wire...)
+			mut[i] = b
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("panic at corruption %d=%#x: %v", i, b, rec)
+					}
+				}()
+				_, _ = Parse(mut)
+			}()
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Resource record types.
+const (
+	TypeA     uint16 = 1
+	TypeNS    uint16 = 2
+	TypeCNAME uint16 = 5
+	TypeSOA   uint16 = 6
+	TypePTR   uint16 = 12
+	TypeTXT   uint16 = 16
+	TypeAAAA  uint16 = 28
+	TypeANY   uint16 = 255
+)
+
+// Classes.
+const ClassIN uint16 = 1
+
+// Response codes.
+const (
+	RcodeSuccess  uint8 = 0 // NOERROR
+	RcodeFormErr  uint8 = 1
+	RcodeServFail uint8 = 2
+	RcodeNXDomain uint8 = 3
+	RcodeNotImp   uint8 = 4
+	RcodeRefused  uint8 = 5
+)
+
+// TypeString names the common RR types for diagnostics.
+func TypeString(t uint16) string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", t)
+	}
+}
+
+// RcodeString names the response codes for diagnostics.
+func RcodeString(rc uint8) string {
+	switch rc {
+	case RcodeSuccess:
+		return "NOERROR"
+	case RcodeFormErr:
+		return "FORMERR"
+	case RcodeServFail:
+		return "SERVFAIL"
+	case RcodeNXDomain:
+		return "NXDOMAIN"
+	case RcodeNotImp:
+		return "NOTIMP"
+	case RcodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", rc)
+	}
+}
+
+// Question is a single DNS question.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// String renders the question dig-style.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s", CanonicalName(q.Name), TypeString(q.Type))
+}
+
+// SOAData is the RDATA of an SOA record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// RR is a resource record. Exactly one of the typed RDATA fields is
+// meaningful, selected by Type: Addr for A/AAAA, Target for
+// CNAME/PTR/NS, Txt for TXT, SOA for SOA. Unknown types round-trip
+// through RawData.
+type RR struct {
+	Name    string
+	Type    uint16
+	Class   uint16
+	TTL     uint32
+	Addr    netip.Addr
+	Target  string
+	Txt     []string
+	SOA     *SOAData
+	RawData []byte
+}
+
+// String renders the record approximately like a zone-file line.
+func (r RR) String() string {
+	base := fmt.Sprintf("%s %d IN %s", CanonicalName(r.Name), r.TTL, TypeString(r.Type))
+	switch r.Type {
+	case TypeA, TypeAAAA:
+		return fmt.Sprintf("%s %s", base, r.Addr)
+	case TypeCNAME, TypePTR, TypeNS:
+		return fmt.Sprintf("%s %s", base, CanonicalName(r.Target))
+	case TypeTXT:
+		return fmt.Sprintf("%s %q", base, r.Txt)
+	default:
+		return base
+	}
+}
+
+// Message is a DNS message: header bits plus the four sections.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	Rcode              uint8
+
+	Questions   []Question
+	Answers     []RR
+	Authorities []RR
+	Additionals []RR
+}
+
+// NewQuery builds a standard recursive query for one question.
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{
+		ID:               id,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: CanonicalName(name), Type: qtype, Class: ClassIN}},
+	}
+}
+
+// ReplyTo builds a response skeleton mirroring the query's ID, question
+// and recursion-desired bit.
+func ReplyTo(q *Message) *Message {
+	r := &Message{
+		ID:                 q.ID,
+		Response:           true,
+		Opcode:             q.Opcode,
+		RecursionDesired:   q.RecursionDesired,
+		RecursionAvailable: true,
+	}
+	r.Questions = append(r.Questions, q.Questions...)
+	return r
+}
+
+// Marshal encodes the message with name compression.
+func (m *Message) Marshal() ([]byte, error) {
+	b := make([]byte, 12, 512)
+	put16(b[0:], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Rcode & 0xf)
+	put16(b[2:], flags)
+	put16(b[4:], uint16(len(m.Questions)))
+	put16(b[6:], uint16(len(m.Answers)))
+	put16(b[8:], uint16(len(m.Authorities)))
+	put16(b[10:], uint16(len(m.Additionals)))
+
+	table := make(map[string]int)
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name, table); err != nil {
+			return nil, err
+		}
+		b = append16(b, q.Type)
+		cls := q.Class
+		if cls == 0 {
+			cls = ClassIN
+		}
+		b = append16(b, cls)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if b, err = appendRR(b, rr, table); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func append16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func append32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendRR(b []byte, rr RR, table map[string]int) ([]byte, error) {
+	var err error
+	if b, err = appendName(b, rr.Name, table); err != nil {
+		return nil, err
+	}
+	b = append16(b, rr.Type)
+	cls := rr.Class
+	if cls == 0 {
+		cls = ClassIN
+	}
+	b = append16(b, cls)
+	b = append32(b, rr.TTL)
+	lenOff := len(b)
+	b = append16(b, 0) // rdlength placeholder
+	switch rr.Type {
+	case TypeA:
+		if !rr.Addr.Is4() {
+			return nil, fmt.Errorf("dnswire: A record %q needs an IPv4 address", rr.Name)
+		}
+		a := rr.Addr.As4()
+		b = append(b, a[:]...)
+	case TypeAAAA:
+		if !rr.Addr.Is6() || rr.Addr.Is4() {
+			return nil, fmt.Errorf("dnswire: AAAA record %q needs an IPv6 address", rr.Name)
+		}
+		a := rr.Addr.As16()
+		b = append(b, a[:]...)
+	case TypeCNAME, TypePTR, TypeNS:
+		if b, err = appendName(b, rr.Target, table); err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		for _, s := range rr.Txt {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("dnswire: TXT string too long")
+			}
+			b = append(b, byte(len(s)))
+			b = append(b, s...)
+		}
+	case TypeSOA:
+		if rr.SOA == nil {
+			return nil, fmt.Errorf("dnswire: SOA record %q missing data", rr.Name)
+		}
+		if b, err = appendName(b, rr.SOA.MName, table); err != nil {
+			return nil, err
+		}
+		if b, err = appendName(b, rr.SOA.RName, table); err != nil {
+			return nil, err
+		}
+		b = append32(b, rr.SOA.Serial)
+		b = append32(b, rr.SOA.Refresh)
+		b = append32(b, rr.SOA.Retry)
+		b = append32(b, rr.SOA.Expire)
+		b = append32(b, rr.SOA.Minimum)
+	default:
+		b = append(b, rr.RawData...)
+	}
+	rdlen := len(b) - lenOff - 2
+	b[lenOff] = byte(rdlen >> 8)
+	b[lenOff+1] = byte(rdlen)
+	return b, nil
+}
+
+// Parse decodes a DNS message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	m := &Message{ID: be16(b[0:])}
+	flags := be16(b[2:])
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.Rcode = uint8(flags & 0xf)
+
+	qd, an, ns, ar := int(be16(b[4:])), int(be16(b[6:])), int(be16(b[8:])), int(be16(b[10:]))
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = readName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(b) {
+			return nil, ErrTruncatedMessage
+		}
+		q.Type = be16(b[off:])
+		q.Class = be16(b[off+2:])
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]RR
+	}{{an, &m.Answers}, {ns, &m.Authorities}, {ar, &m.Additionals}} {
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			rr, off, err = readRR(b, off)
+			if err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func readRR(b []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	rr.Name, off, err = readName(b, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(b) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rr.Type = be16(b[off:])
+	rr.Class = be16(b[off+2:])
+	rr.TTL = be32(b[off+4:])
+	rdlen := int(be16(b[off+8:]))
+	off += 10
+	if off+rdlen > len(b) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rdata := b[off : off+rdlen]
+	end := off + rdlen
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, 0, fmt.Errorf("dnswire: A rdata length %d", rdlen)
+		}
+		rr.Addr = netip.AddrFrom4([4]byte(rdata))
+	case TypeAAAA:
+		if rdlen != 16 {
+			return rr, 0, fmt.Errorf("dnswire: AAAA rdata length %d", rdlen)
+		}
+		rr.Addr = netip.AddrFrom16([16]byte(rdata))
+	case TypeCNAME, TypePTR, TypeNS:
+		rr.Target, _, err = readName(b, off)
+		if err != nil {
+			return rr, 0, err
+		}
+	case TypeTXT:
+		for p := 0; p < rdlen; {
+			l := int(rdata[p])
+			if p+1+l > rdlen {
+				return rr, 0, ErrTruncatedMessage
+			}
+			rr.Txt = append(rr.Txt, string(rdata[p+1:p+1+l]))
+			p += 1 + l
+		}
+	case TypeSOA:
+		soa := &SOAData{}
+		var p int
+		soa.MName, p, err = readName(b, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		soa.RName, p, err = readName(b, p)
+		if err != nil {
+			return rr, 0, err
+		}
+		if p+20 > len(b) || p+20 > end {
+			return rr, 0, ErrTruncatedMessage
+		}
+		soa.Serial = be32(b[p:])
+		soa.Refresh = be32(b[p+4:])
+		soa.Retry = be32(b[p+8:])
+		soa.Expire = be32(b[p+12:])
+		soa.Minimum = be32(b[p+16:])
+		rr.SOA = soa
+	default:
+		rr.RawData = append([]byte(nil), rdata...)
+	}
+	return rr, end, nil
+}
+
+func be16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func put16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }

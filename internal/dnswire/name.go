@@ -1,0 +1,138 @@
+// Package dnswire implements the DNS message wire format (RFC 1035):
+// header, questions, resource records with A/AAAA/CNAME/PTR/NS/SOA/TXT
+// RDATA, and name compression on both encode and decode. It is the codec
+// underneath every DNS component in the testbed — the healthy DNS64
+// server, the poisoned resolvers, and the client-side stub resolvers.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Wire-format limits from RFC 1035 §2.3.4.
+const (
+	MaxLabelLen = 63
+	MaxNameLen  = 255
+)
+
+var (
+	// ErrTruncatedMessage reports a buffer shorter than its structure claims.
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	// ErrBadName reports an invalid domain name.
+	ErrBadName = errors.New("dnswire: bad name")
+	// ErrBadPointer reports a malformed or looping compression pointer.
+	ErrBadPointer = errors.New("dnswire: bad compression pointer")
+)
+
+// CanonicalName lower-cases a domain name and ensures a trailing dot,
+// giving the representation used for map keys throughout the DNS stack.
+func CanonicalName(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" || name == "." {
+		return "."
+	}
+	if !strings.HasSuffix(name, ".") {
+		name += "."
+	}
+	return name
+}
+
+// SplitLabels breaks a canonical name into its labels, excluding the root.
+func SplitLabels(name string) []string {
+	name = strings.TrimSuffix(CanonicalName(name), ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// IsSubdomain reports whether child equals parent or falls underneath it.
+func IsSubdomain(child, parent string) bool {
+	c, p := CanonicalName(child), CanonicalName(parent)
+	if p == "." {
+		return true
+	}
+	return c == p || strings.HasSuffix(c, "."+p)
+}
+
+// appendName encodes name at the end of msg, compressing against the
+// offsets already recorded in table (suffix -> offset). The table is
+// updated with any newly encoded suffixes.
+func appendName(msg []byte, name string, table map[string]int) ([]byte, error) {
+	name = CanonicalName(name)
+	if len(name) > MaxNameLen {
+		return nil, fmt.Errorf("%w: %q too long", ErrBadName, name)
+	}
+	labels := SplitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if off, ok := table[suffix]; ok && off < 0x4000 {
+			return append(msg, 0xc0|byte(off>>8), byte(off)), nil
+		}
+		if len(labels[i]) > MaxLabelLen || len(labels[i]) == 0 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, labels[i])
+		}
+		if table != nil && len(msg) < 0x4000 {
+			table[suffix] = len(msg)
+		}
+		msg = append(msg, byte(len(labels[i])))
+		msg = append(msg, labels[i]...)
+	}
+	return append(msg, 0), nil
+}
+
+// readName decodes a possibly-compressed name starting at off in msg.
+// It returns the canonical name and the offset just past the name in the
+// original (uncompressed) stream.
+func readName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	next := off
+	hops := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				next = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			if len(name) > MaxNameLen {
+				return "", 0, fmt.Errorf("%w: decoded name too long", ErrBadName)
+			}
+			return CanonicalName(name), next, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptr := int(b&0x3f)<<8 | int(msg[off+1])
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			if ptr >= off || hops > 64 {
+				return "", 0, ErrBadPointer
+			}
+			hops++
+			off = ptr
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#02x", ErrBadName, b&0xc0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}

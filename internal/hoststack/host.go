@@ -1,0 +1,317 @@
+package hoststack
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/clat"
+	"repro/internal/ndp"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rfc6724"
+)
+
+// V6Addr is one configured IPv6 address with its covering prefix.
+type V6Addr struct {
+	Addr       netip.Addr
+	Prefix     netip.Prefix
+	Deprecated bool
+}
+
+// routerEntry is a learned default router.
+type routerEntry struct {
+	addr       netip.Addr // link-local source of the RA
+	mac        netsim.MAC
+	preference ndp.RouterPreference
+	expires    time.Time
+}
+
+// UDPHandler receives datagrams delivered to a bound UDP port.
+type UDPHandler func(src netip.Addr, srcPort uint16, dst netip.Addr, payload []byte)
+
+// Host is one simulated machine: a NIC plus the protocol state the
+// Behavior enables.
+type Host struct {
+	Net *netsim.Network
+	NIC *netsim.NIC
+	B   Behavior
+
+	name string
+	sel  *rfc6724.Selector
+
+	// IPv6 state.
+	linkLocal netip.Addr
+	v6Addrs   []V6Addr
+	routers   []routerEntry
+	rdnss     []netip.Addr
+	ndCache   map[netip.Addr]netsim.MAC
+	ndPending map[netip.Addr][]*packet.IPv6
+
+	// IPv4 state.
+	v4Addr     netip.Addr
+	v4Aliases  []netip.Addr
+	v4Prefix   netip.Prefix
+	v4Router   netip.Addr
+	v4DNS      []netip.Addr
+	v4Domain   string
+	arpCache   map[netip.Addr]netsim.MAC
+	arpPending map[netip.Addr][]*packet.IPv4
+
+	dhcp        dhcpClient
+	v6OnlyUntil time.Time
+	clat        *clat.Translator
+	clatPorts   map[portKey]bool
+
+	udpBind  map[uint16]UDPHandler
+	udpNext  uint16
+	tcpConns map[tcpKey]*TCPConn
+	tcpNext  uint16
+	listens  map[uint16]func(*TCPConn)
+	accepts  map[tcpKey]func(*TCPConn)
+
+	pings map[uint16]*pingWaiter
+
+	// pmtu caches learned path MTUs per destination (RFC 8201).
+	pmtu map[netip.Addr]int
+
+	// nat64Prefix is the translation prefix learned via RFC 8781 PREF64
+	// or RFC 7050 discovery; invalid means "use the well-known prefix".
+	nat64Prefix netip.Prefix
+
+	// DNSOverride, when set, replaces every learned resolver (the
+	// Nintendo Switch escape hatch in the paper's Fig. 6 discussion).
+	DNSOverride []netip.Addr
+
+	// Events is a human-readable trace of notable state changes.
+	Events []string
+}
+
+// New creates a host on net with the given behaviour. The returned host
+// has a NIC but no link; attach it to a switch or peer, then call Start.
+func New(net *netsim.Network, name string, b Behavior) *Host {
+	h := &Host{
+		Net:        net,
+		B:          b,
+		name:       name,
+		sel:        rfc6724.NewSelector(),
+		ndCache:    make(map[netip.Addr]netsim.MAC),
+		ndPending:  make(map[netip.Addr][]*packet.IPv6),
+		arpCache:   make(map[netip.Addr]netsim.MAC),
+		arpPending: make(map[netip.Addr][]*packet.IPv4),
+		clatPorts:  make(map[portKey]bool),
+		udpBind:    make(map[uint16]UDPHandler),
+		udpNext:    49152,
+		tcpConns:   make(map[tcpKey]*TCPConn),
+		tcpNext:    52000,
+		listens:    make(map[uint16]func(*TCPConn)),
+		pmtu:       make(map[netip.Addr]int),
+	}
+	h.NIC = net.NewNIC(name, h)
+	if b.IPv6Enabled {
+		h.linkLocal = ndp.LinkLocal(h.NIC.MAC())
+	}
+	return h
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() netsim.MAC { return h.NIC.MAC() }
+
+// logf appends a line to the host event trace.
+func (h *Host) logf(format string, args ...any) {
+	h.Events = append(h.Events, fmt.Sprintf(format, args...))
+}
+
+// Start boots the network stack: IPv6 sends a Router Solicitation, IPv4
+// begins DHCP. Call after the NIC is cabled.
+func (h *Host) Start() {
+	if h.B.IPv6Enabled {
+		h.sendRouterSolicit()
+	}
+	if h.B.IPv4Enabled {
+		h.dhcpStart()
+	}
+}
+
+// --- address accessors -------------------------------------------------
+
+// IPv4Addr returns the host's IPv4 address (invalid when unconfigured).
+func (h *Host) IPv4Addr() netip.Addr { return h.v4Addr }
+
+// IPv6GlobalAddrs returns every non-link-local IPv6 address.
+func (h *Host) IPv6GlobalAddrs() []netip.Addr {
+	var out []netip.Addr
+	for _, a := range h.v6Addrs {
+		out = append(out, a.Addr)
+	}
+	return out
+}
+
+// LinkLocal returns the host's fe80:: address (invalid if IPv6 is off).
+func (h *Host) LinkLocal() netip.Addr { return h.linkLocal }
+
+// RDNSS returns the learned IPv6 resolvers.
+func (h *Host) RDNSS() []netip.Addr { return append([]netip.Addr(nil), h.rdnss...) }
+
+// V4DNS returns the DHCP-learned IPv4 resolvers.
+func (h *Host) V4DNS() []netip.Addr { return append([]netip.Addr(nil), h.v4DNS...) }
+
+// DomainSuffix returns the connection-specific DNS suffix from DHCP.
+func (h *Host) DomainSuffix() string { return h.v4Domain }
+
+// IPv6OnlyActive reports whether option 108 disabled IPv4.
+func (h *Host) IPv6OnlyActive() bool {
+	return h.B.SupportsRFC8925 && h.Net.Clock.Now().Before(h.v6OnlyUntil)
+}
+
+// CLATActive reports whether the 464XLAT translator is running.
+func (h *Host) CLATActive() bool { return h.clat != nil }
+
+// TCPConnCount reports live entries in the connection table
+// (observability; finished connections are reaped).
+func (h *Host) TCPConnCount() int { return len(h.tcpConns) }
+
+// UDPBindCount reports bound UDP ports (servers plus in-flight queries).
+func (h *Host) UDPBindCount() int { return len(h.udpBind) }
+
+// SetIPv4Static configures IPv4 manually (servers; hosts with DHCP off).
+func (h *Host) SetIPv4Static(addr netip.Addr, prefix netip.Prefix, router netip.Addr) {
+	h.v4Addr, h.v4Prefix, h.v4Router = addr, prefix, router
+	h.logf("ipv4 static %v/%d gw %v", addr, prefix.Bits(), router)
+}
+
+// AddIPv6Static adds a static IPv6 address (servers).
+func (h *Host) AddIPv6Static(addr netip.Addr, prefix netip.Prefix) {
+	h.v6Addrs = append(h.v6Addrs, V6Addr{Addr: addr, Prefix: prefix})
+	h.logf("ipv6 static %v/%d", addr, prefix.Bits())
+}
+
+// SetV4DNSStatic overrides the DHCP-provided IPv4 resolvers.
+func (h *Host) SetV4DNSStatic(servers ...netip.Addr) { h.v4DNS = servers }
+
+// AddIPv4Alias adds an extra IPv4 address the host answers for; the
+// internet-cloud host serves many public services this way.
+func (h *Host) AddIPv4Alias(addr netip.Addr) { h.v4Aliases = append(h.v4Aliases, addr) }
+
+// ownsV4 reports whether addr is one of the host's IPv4 addresses.
+func (h *Host) ownsV4(addr netip.Addr) bool {
+	if addr == h.v4Addr {
+		return true
+	}
+	for _, a := range h.v4Aliases {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// PreloadARP seeds the ARP cache (point-to-point links without a real
+// ARP exchange, e.g. the gateway's WAN side).
+func (h *Host) PreloadARP(addr netip.Addr, mac netsim.MAC) { h.arpCache[addr] = mac }
+
+// PreloadNeighbor seeds the IPv6 neighbor cache.
+func (h *Host) PreloadNeighbor(addr netip.Addr, mac netsim.MAC) { h.ndCache[addr] = mac }
+
+// AddStaticRouteV6 installs a permanent default router (used by hosts on
+// point-to-point links that never receive RAs, e.g. the internet cloud
+// behind the gateway's WAN port).
+func (h *Host) AddStaticRouteV6(nextHop netip.Addr, mac netsim.MAC) {
+	h.ndCache[nextHop] = mac
+	h.routers = append(h.routers, routerEntry{
+		addr: nextHop, mac: mac, preference: ndp.PrefMedium,
+		expires: h.Net.Clock.Now().Add(100 * 365 * 24 * time.Hour),
+	})
+}
+
+// ownsV6 reports whether addr is one of the host's IPv6 addresses.
+func (h *Host) ownsV6(addr netip.Addr) bool {
+	if addr == h.linkLocal {
+		return true
+	}
+	for _, a := range h.v6Addrs {
+		if a.Addr == addr {
+			return true
+		}
+	}
+	if addr == ndp.AllNodes {
+		return true
+	}
+	if h.linkLocal.IsValid() && addr == packet.SolicitedNodeMulticast(h.linkLocal) {
+		return true
+	}
+	for _, a := range h.v6Addrs {
+		if addr == packet.SolicitedNodeMulticast(a.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateSources lists the host's addresses for RFC 6724 selection.
+func (h *Host) candidateSources() []rfc6724.CandidateSource {
+	var out []rfc6724.CandidateSource
+	for _, a := range h.v6Addrs {
+		out = append(out, rfc6724.CandidateSource{Addr: a.Addr, Deprecated: a.Deprecated})
+	}
+	if h.linkLocal.IsValid() {
+		out = append(out, rfc6724.CandidateSource{Addr: h.linkLocal})
+	}
+	if h.v4Addr.IsValid() {
+		out = append(out, rfc6724.CandidateSource{Addr: h.v4Addr})
+	}
+	// A CLAT provides virtual IPv4 reachability through the host's IPv6
+	// address; expose the CLAT host address so IPv4 literals stay usable.
+	if h.clat != nil {
+		out = append(out, rfc6724.CandidateSource{Addr: clat.HostV4})
+	}
+	return out
+}
+
+// portKey identifies a local transport endpoint.
+type portKey struct {
+	proto uint8
+	port  uint16
+}
+
+// trackCLATPort records that a local port's traffic flows through the
+// CLAT, so inbound NAT64-prefixed packets on it are translated back.
+func (h *Host) trackCLATPort(proto uint8, port uint16) {
+	if h.clat != nil && !h.v4Addr.IsValid() {
+		h.clatPorts[portKey{proto: proto, port: port}] = true
+	}
+}
+
+// clatOwns reports whether inbound traffic on (proto, port) belongs to a
+// CLAT-carried IPv4 flow.
+func (h *Host) clatOwns(proto uint8, port uint16) bool {
+	return h.clat != nil && h.clatPorts[portKey{proto: proto, port: port}]
+}
+
+// SendIPv4WithCLATTracking sends p like SendIPv4 but first marks the
+// local port as CLAT-owned when the packet will traverse the CLAT.
+func (h *Host) SendIPv4WithCLATTracking(p *packet.IPv4, proto uint8, localPort uint16) error {
+	h.trackCLATPort(proto, localPort)
+	return h.SendIPv4(p)
+}
+
+// HandleFrame implements netsim.FrameHandler; it dispatches by EtherType.
+func (h *Host) HandleFrame(_ *netsim.NIC, f netsim.Frame) {
+	switch f.EtherType {
+	case netsim.EtherTypeARP:
+		if h.B.IPv4Enabled || h.v4Addr.IsValid() {
+			h.handleARP(f)
+		}
+	case netsim.EtherTypeIPv4:
+		if h.B.IPv4Enabled || h.v4Addr.IsValid() {
+			h.handleIPv4Frame(f)
+		}
+	case netsim.EtherTypeIPv6:
+		if h.B.IPv6Enabled || len(h.v6Addrs) > 0 {
+			h.handleIPv6Frame(f)
+		}
+	}
+}

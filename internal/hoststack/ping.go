@@ -1,0 +1,96 @@
+package hoststack
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/clat"
+	"repro/internal/dns64"
+	"repro/internal/packet"
+)
+
+// pingWaiter tracks one outstanding echo request.
+type pingWaiter struct {
+	done bool
+	from netip.Addr
+	rtt  time.Duration
+	sent time.Time
+}
+
+var pingIDCounter uint16 = 0x2400
+
+// pingWaiters is keyed by echo identifier.
+func (h *Host) pingWaiters() map[uint16]*pingWaiter {
+	if h.pings == nil {
+		h.pings = make(map[uint16]*pingWaiter)
+	}
+	return h.pings
+}
+
+func (h *Host) pongReceived(from netip.Addr, id, _ uint16, _ []byte) {
+	if w, ok := h.pingWaiters()[id]; ok && !w.done {
+		// A CLAT-carried ping sees its reply arrive from the synthesized
+		// IPv6 source; surface the embedded IPv4 address to the app.
+		if h.clatOwns(packet.ProtoICMP, id) && from.Is6() {
+			if v4, ok := dns64.Extract(h.clat.Prefix, from); ok {
+				from = v4
+			}
+		}
+		w.done = true
+		w.from = from
+		w.rtt = h.Net.Clock.Now().Sub(w.sent)
+	}
+}
+
+// PingResult reports a successful echo exchange.
+type PingResult struct {
+	From netip.Addr
+	RTT  time.Duration
+}
+
+// Ping sends one ICMP echo to dst (IPv4 or IPv6) and waits for the
+// reply. IPv4 pings on a CLAT host traverse the 464XLAT path, exactly
+// like the paper's Windows XP "ping sc24.supercomputing.org" example in
+// reverse.
+func (h *Host) Ping(dst netip.Addr, timeout time.Duration) (PingResult, error) {
+	pingIDCounter++
+	id := pingIDCounter
+	w := &pingWaiter{sent: h.Net.Clock.Now()}
+	h.pingWaiters()[id] = w
+	defer delete(h.pingWaiters(), id)
+
+	body := packet.EchoBody(id, 1, []byte("ipv6lab-ping"))
+	var err error
+	if dst.Is4() {
+		src := h.v4Addr
+		if h.clat != nil && !h.v4Addr.IsValid() {
+			src = clat.HostV4
+		}
+		if !src.IsValid() {
+			return PingResult{}, ErrUnreachable
+		}
+		h.trackCLATPort(packet.ProtoICMP, id)
+		p := &packet.IPv4{
+			Protocol: packet.ProtoICMP, TTL: 64, Src: src, Dst: dst,
+			Payload: (&packet.ICMP{Type: packet.ICMPv4Echo, Body: body}).MarshalV4(),
+		}
+		err = h.SendIPv4(p)
+	} else {
+		src, ok := h.srcFor(dst)
+		if !ok {
+			return PingResult{}, ErrUnreachable
+		}
+		p := &packet.IPv6{
+			NextHeader: packet.ProtoICMPv6, HopLimit: 64, Src: src, Dst: dst,
+			Payload: (&packet.ICMP{Type: packet.ICMPv6EchoRequest, Body: body}).MarshalV6(src, dst),
+		}
+		err = h.SendIPv6(p)
+	}
+	if err != nil {
+		return PingResult{}, err
+	}
+	if !h.Net.RunUntil(func() bool { return w.done }, timeout) {
+		return PingResult{}, ErrTimeout
+	}
+	return PingResult{From: w.from, RTT: w.rtt}, nil
+}

@@ -1,0 +1,249 @@
+package hoststack
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/rfc6724"
+)
+
+// ErrNameNotFound reports a lookup that yielded no usable addresses.
+var ErrNameNotFound = errors.New("hoststack: name not found")
+
+// dnsQueryTimeout bounds one resolver round trip (virtual time).
+const dnsQueryTimeout = 3 * time.Second
+
+var dnsIDCounter uint16 = 0x0100
+
+// Resolvers returns the ordered resolver list the OS profile would use:
+// a manual override beats everything; otherwise RDNSS-learned IPv6
+// resolvers and DHCP-learned IPv4 resolvers, ordered by the profile's
+// preference. This ordering is the crux of the paper's Figs. 9/10.
+func (h *Host) Resolvers() []netip.Addr {
+	if len(h.DNSOverride) > 0 {
+		return append([]netip.Addr(nil), h.DNSOverride...)
+	}
+	var v6, v4 []netip.Addr
+	if h.B.SupportsRDNSS {
+		v6 = h.rdnss
+	}
+	v4 = h.v4DNS
+	if h.B.PreferIPv4DNS {
+		return append(append([]netip.Addr(nil), v4...), v6...)
+	}
+	return append(append([]netip.Addr(nil), v6...), v4...)
+}
+
+// QueryDNS sends one DNS query to a specific server and returns the
+// parsed response (nslookup with an explicit server).
+func (h *Host) QueryDNS(server netip.Addr, name string, qtype uint16) (*dnswire.Message, error) {
+	dnsIDCounter++
+	q := dnswire.NewQuery(dnsIDCounter, name, qtype)
+	wire, err := q.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := h.Query(server, 53, wire, dnsQueryTimeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != q.ID {
+		return nil, fmt.Errorf("hoststack: DNS response ID mismatch")
+	}
+	return resp, nil
+}
+
+// LookupResult is the outcome of a getaddrinfo-style lookup.
+type LookupResult struct {
+	// Name is the query name that produced answers (the suffixed variant
+	// when the search list fired — the paper's Fig. 9 display).
+	Name string
+	// Addrs is RFC 6724 destination-ordered.
+	Addrs []netip.Addr
+	// Resolver is the server that answered.
+	Resolver netip.Addr
+	// SuffixApplied reports whether the connection-specific suffix was used.
+	SuffixApplied bool
+}
+
+// BestAddr returns the top-ranked usable address.
+func (r LookupResult) BestAddr() (netip.Addr, bool) {
+	if len(r.Addrs) == 0 {
+		return netip.Addr{}, false
+	}
+	return r.Addrs[0], true
+}
+
+// Lookup resolves name the way the host's OS would: walk the resolver
+// list, apply the suffix search list (suffixed candidate first, as
+// Windows nslookup does), query A and/or AAAA per enabled stacks, and
+// order the results per RFC 6724.
+func (h *Host) Lookup(name string) (LookupResult, error) {
+	resolvers := h.Resolvers()
+	if len(resolvers) == 0 {
+		return LookupResult{}, fmt.Errorf("hoststack: %s has no DNS resolvers", h.name)
+	}
+	candidates := h.searchCandidates(name)
+	var lastErr error
+	for _, server := range resolvers {
+		if _, ok := h.srcFor(server); !ok {
+			lastErr = fmt.Errorf("hoststack: resolver %v unreachable (no source address)", server)
+			continue
+		}
+		for i, cand := range candidates {
+			addrs, err := h.lookupOnce(server, cand)
+			if err != nil {
+				lastErr = err
+				if errors.Is(err, ErrTimeout) {
+					break // dead server: move to the next resolver
+				}
+				continue
+			}
+			if len(addrs) == 0 {
+				lastErr = ErrNameNotFound
+				continue
+			}
+			return LookupResult{
+				Name:          cand,
+				Addrs:         h.orderDestinations(addrs),
+				Resolver:      server,
+				SuffixApplied: len(candidates) == 2 && i == 1,
+			}, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNameNotFound
+	}
+	return LookupResult{}, lastErr
+}
+
+// searchCandidates expands name through the DNS suffix search list. The
+// OS resolver (getaddrinfo) tries the name as given first and only then
+// the suffixed variant; the nslookup tool does the reverse (see
+// NSLookup), which is what makes the paper's Fig. 9 display the bogus
+// suffixed answer.
+func (h *Host) searchCandidates(name string) []string {
+	canonical := dnswire.CanonicalName(name)
+	qualified := strings.HasSuffix(strings.TrimSpace(name), ".")
+	if !h.B.UseSuffixSearch || h.v4Domain == "" || qualified {
+		return []string{canonical}
+	}
+	suffixed := dnswire.CanonicalName(strings.TrimSuffix(canonical, ".") + "." + h.v4Domain)
+	return []string{canonical, suffixed}
+}
+
+// NSLookupResult mirrors the nslookup tool's display.
+type NSLookupResult struct {
+	Server netip.Addr
+	// Name is the owner name of the answer records (the suffixed variant
+	// when the search list fired first, as Windows nslookup does).
+	Name  string
+	Addrs []netip.Addr
+	Rcode uint8
+}
+
+// NSLookup models the Windows nslookup tool: it uses the first
+// configured resolver and, for names without a trailing dot, tries the
+// connection-specific-suffixed variant BEFORE the plain name. Under
+// wildcard poisoning this surfaces fabricated answers for non-existent
+// suffixed names (paper Fig. 9).
+func (h *Host) NSLookup(name string, qtype uint16) (NSLookupResult, error) {
+	resolvers := h.Resolvers()
+	if len(resolvers) == 0 {
+		return NSLookupResult{}, fmt.Errorf("hoststack: no DNS resolvers")
+	}
+	server := resolvers[0]
+	candidates := []string{dnswire.CanonicalName(name)}
+	if !strings.HasSuffix(strings.TrimSpace(name), ".") && h.v4Domain != "" {
+		suffixed := dnswire.CanonicalName(strings.TrimSuffix(candidates[0], ".") + "." + h.v4Domain)
+		candidates = []string{suffixed, candidates[0]}
+	}
+	var last NSLookupResult
+	for _, cand := range candidates {
+		resp, err := h.QueryDNS(server, cand, qtype)
+		if err != nil {
+			return NSLookupResult{}, err
+		}
+		last = NSLookupResult{Server: server, Name: cand, Rcode: resp.Rcode}
+		for _, rr := range resp.Answers {
+			if rr.Type == qtype {
+				last.Addrs = append(last.Addrs, rr.Addr)
+			}
+		}
+		if resp.Rcode == dnswire.RcodeSuccess && len(last.Addrs) > 0 {
+			return last, nil
+		}
+	}
+	return last, nil
+}
+
+// lookupOnce queries one server for the record types the enabled stacks
+// can use and returns every address found (unordered).
+func (h *Host) lookupOnce(server netip.Addr, name string) ([]netip.Addr, error) {
+	var addrs []netip.Addr
+	sawAnswer := false
+	var firstErr error
+
+	wantAAAA := h.B.IPv6Enabled
+	wantA := h.v4Addr.IsValid() || h.clat != nil || h.B.IPv4Enabled
+
+	if wantAAAA {
+		resp, err := h.QueryDNS(server, name, dnswire.TypeAAAA)
+		if err != nil {
+			firstErr = err
+		} else if resp.Rcode == dnswire.RcodeSuccess {
+			for _, rr := range resp.Answers {
+				if rr.Type == dnswire.TypeAAAA {
+					addrs = append(addrs, rr.Addr)
+					sawAnswer = true
+				}
+			}
+		}
+	}
+	if wantA {
+		resp, err := h.QueryDNS(server, name, dnswire.TypeA)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else if resp.Rcode == dnswire.RcodeSuccess {
+			for _, rr := range resp.Answers {
+				if rr.Type == dnswire.TypeA {
+					addrs = append(addrs, rr.Addr)
+					sawAnswer = true
+				}
+			}
+		}
+	}
+	if !sawAnswer && firstErr != nil {
+		return nil, firstErr
+	}
+	return addrs, nil
+}
+
+// orderDestinations applies RFC 6724 destination ordering with this
+// host's candidate source set.
+func (h *Host) orderDestinations(addrs []netip.Addr) []netip.Addr {
+	var ds []rfc6724.Destination
+	for _, a := range addrs {
+		d := rfc6724.Destination{Addr: a}
+		if src, ok := h.srcFor(a); ok {
+			d.Source, d.HasSource = src, true
+		}
+		ds = append(ds, d)
+	}
+	sorted := h.sel.SortDestinations(ds)
+	out := make([]netip.Addr, 0, len(sorted))
+	for _, d := range sorted {
+		out = append(out, d.Addr)
+	}
+	return out
+}

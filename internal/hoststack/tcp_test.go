@@ -1,0 +1,159 @@
+package hoststack
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func newV6Pair(t *testing.T) (client, server *Host, dial func() *TCPConn) {
+	t.Helper()
+	net := newTestNet()
+	client = New(net, "c", serverBehavior())
+	server = New(net, "s", serverBehavior())
+	lanWith(net, client, server)
+	client.AddIPv6Static(netip.MustParseAddr("fd00:976a::1"), ulaPrefix)
+	server.AddIPv6Static(netip.MustParseAddr("fd00:976a::80"), ulaPrefix)
+	dial = func() *TCPConn {
+		conn, err := client.DialTCP(netip.MustParseAddr("fd00:976a::80"), 80, time.Second)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return conn
+	}
+	return client, server, dial
+}
+
+func TestSendSegmentsLargePayload(t *testing.T) {
+	client, server, dial := newV6Pair(t)
+	var got []byte
+	server.ListenTCP(80, func(c *TCPConn) {
+		c.OnData = func(cc *TCPConn) { got = append(got, cc.Recv()...) }
+	})
+	conn := dial()
+
+	payload := bytes.Repeat([]byte("abcdefgh"), 1000) // 8000 bytes > one MSS
+	if err := conn.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	ok := client.Net.RunUntil(func() bool { return len(got) >= len(payload) }, time.Second)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("received %d/%d bytes", len(got), len(payload))
+	}
+	// At the default 1500 MTU the payload needs ceil(8000/1440) = 6 segments.
+	if len(conn.unacked) != 6 {
+		t.Errorf("unacked segments = %d, want 6 (no ACKs flowed back)", len(conn.unacked))
+	}
+}
+
+func TestPruneAckedDropsDeliveredSegments(t *testing.T) {
+	_, server, dial := newV6Pair(t)
+	server.ListenTCP(80, func(c *TCPConn) {
+		c.OnData = func(cc *TCPConn) {
+			if len(cc.Peek()) > 0 {
+				cc.Recv()
+				_ = cc.Send([]byte("reply")) // carries an ACK covering the request
+			}
+		}
+	})
+	conn := dial()
+	if err := conn.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	ok := conn.h.Net.RunUntil(func() bool { return len(conn.Peek()) > 0 }, time.Second)
+	if !ok {
+		t.Fatal("no reply")
+	}
+	if len(conn.unacked) != 0 {
+		t.Errorf("unacked = %d after peer ACK, want 0", len(conn.unacked))
+	}
+}
+
+func TestOutOfOrderFINIgnored(t *testing.T) {
+	_, server, dial := newV6Pair(t)
+	server.ListenTCP(80, func(*TCPConn) {})
+	conn := dial()
+	// Fabricate an out-of-order FIN (seq far beyond rcvNxt).
+	conn.h.tcpData(conn, &packet.TCP{Seq: conn.rcvNxt + 500, Flags: packet.TCPAck | packet.TCPFin})
+	if conn.RemoteClosed() {
+		t.Error("out-of-order FIN closed the connection")
+	}
+	// An in-order FIN closes.
+	conn.h.tcpData(conn, &packet.TCP{Seq: conn.rcvNxt, Flags: packet.TCPAck | packet.TCPFin})
+	if !conn.RemoteClosed() {
+		t.Error("in-order FIN ignored")
+	}
+}
+
+func TestResendFromResplitsToNewMSS(t *testing.T) {
+	client, server, dial := newV6Pair(t)
+	server.ListenTCP(80, func(*TCPConn) {})
+	conn := dial()
+
+	data := make([]byte, 3000)
+	if err := conn.Send(data); err != nil {
+		t.Fatal(err)
+	}
+	before := len(conn.unacked) // 1440+1440+120 -> 3 segments
+	if before != 3 {
+		t.Fatalf("segments = %d, want 3", before)
+	}
+	// Shrink the PMTU and force a resend from the first segment.
+	client.pmtu[conn.remote] = 1280
+	conn.resendFrom(conn.unacked[0].seq)
+	// New MSS = 1280-60 = 1220: 3000 bytes -> 1220+1220+560 = 3 pieces,
+	// but the original 1440-byte segments re-split into 1220+220 each:
+	// total = 2+2+1 = 5 retained segments.
+	if len(conn.unacked) != 5 {
+		t.Errorf("unacked after resplit = %d, want 5", len(conn.unacked))
+	}
+	total := uint32(0)
+	for _, s := range conn.unacked {
+		total += s.seqLen()
+	}
+	if total != 3000 {
+		t.Errorf("sequence space = %d, want 3000", total)
+	}
+}
+
+func TestDialTimeoutWhenPeerSilent(t *testing.T) {
+	net := newTestNet()
+	client := New(net, "c", serverBehavior())
+	lanWith(net, client)
+	client.AddIPv6Static(netip.MustParseAddr("fd00:976a::1"), ulaPrefix)
+	// fd00:976a::99 is on-link but nobody owns it.
+	if _, err := client.DialTCP(netip.MustParseAddr("fd00:976a::99"), 80, 200*time.Millisecond); err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestConcurrentConnectionsIndependent(t *testing.T) {
+	_, server, dial := newV6Pair(t)
+	server.ListenTCP(80, func(c *TCPConn) {
+		c.OnData = func(cc *TCPConn) {
+			data := cc.Recv()
+			if len(data) > 0 {
+				_ = cc.Send(append([]byte("echo:"), data...))
+				_ = cc.Close()
+			}
+		}
+	})
+	a := dial()
+	b := dial()
+	if err := a.Send([]byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send([]byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	ok := a.h.Net.RunUntil(func() bool { return a.RemoteClosed() && b.RemoteClosed() }, time.Second)
+	if !ok {
+		t.Fatal("connections stalled")
+	}
+	if string(a.Recv()) != "echo:A" || string(b.Recv()) != "echo:B" {
+		t.Error("cross-talk between connections")
+	}
+}

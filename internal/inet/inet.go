@@ -1,0 +1,174 @@
+// Package inet models "the rest of the internet" behind the 5G
+// gateway's WAN port: one multi-addressed host serving every public
+// site the paper's testbed touches (ip6.me, the test-ipv6 mirror,
+// IPv4-only sites like sc24.supercomputing.org and the VTC provider,
+// and raw UDP services reached by literal like Echolink), plus the
+// public DNS data those names resolve from.
+//
+// Full recursive resolution from the root is abstracted to a direct
+// lookup into this registry (documented in DESIGN.md): the testbed's
+// resolvers still answer clients over real simulated wire traffic.
+package inet
+
+import (
+	"net/netip"
+
+	"repro/internal/dns"
+	"repro/internal/dns64"
+	"repro/internal/dnswire"
+	"repro/internal/gateway5g"
+	"repro/internal/hoststack"
+	"repro/internal/httpsim"
+	"repro/internal/ndp"
+	"repro/internal/netsim"
+)
+
+// Internet is the cloud host plus its DNS registry. HTTP requests are
+// routed by destination address (each site has its own addresses, like
+// real per-site servers), so a poisoned A record pointing a hostname at
+// ip6.me's address lands on ip6.me's page regardless of the Host header.
+type Internet struct {
+	Host   *hoststack.Host
+	Auth   *dns.Authority
+	byAddr map[netip.Addr]httpsim.Handler
+
+	net     *netsim.Network
+	primary netip.Addr
+	// reverse holds the shared in-addr.arpa zone: every site's IPv4
+	// address gets a PTR so RFC 6147 PTR synthesis resolves end to end.
+	reverse *dns.Zone
+}
+
+// New builds the cloud. Call ConnectBehind to cable it to the gateway.
+func New(net *netsim.Network) *Internet {
+	h := hoststack.New(net, "internet", hoststack.Behavior{
+		Name: "internet", IPv4Enabled: true, IPv6Enabled: true, SupportsRDNSS: true,
+	})
+	i := &Internet{
+		Host:    h,
+		Auth:    dns.NewAuthority(),
+		byAddr:  make(map[netip.Addr]httpsim.Handler),
+		net:     net,
+		primary: netip.MustParseAddr("198.18.0.1"),
+		reverse: dns.NewZone("in-addr.arpa"),
+	}
+	i.Auth.AddZone(i.reverse)
+	// The primary address exists so the host has a valid v4 identity; all
+	// services are aliases.
+	h.SetIPv4Static(i.primary, netip.PrefixFrom(i.primary, 32), netip.Addr{})
+	httpsim.Serve(h, 80, httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+		if handler, ok := i.byAddr[req.ServerAddr]; ok {
+			return handler.Serve(req)
+		}
+		return &httpsim.Response{Status: 404, Body: []byte("no such site")}
+	}))
+	return i
+}
+
+// ConnectBehind cables the cloud to the gateway's WAN port and installs
+// the static routes back through it.
+func (i *Internet) ConnectBehind(gw *gateway5g.Gateway) {
+	gw.ConnectWAN(i.Host.NIC)
+	i.Host.SetIPv4Static(i.primary, netip.PrefixFrom(i.primary, 32), gw.NAT44.Public())
+	i.Host.PreloadARP(gw.NAT44.Public(), gw.WANMAC())
+	i.Host.PreloadARP(gw.NAT64Public(), gw.WANMAC())
+	gwLL := ndp.LinkLocal(gw.WANMAC())
+	i.Host.AddStaticRouteV6(gwLL, gw.WANMAC())
+}
+
+// Resolver returns the public-DNS view: authoritative data for every
+// registered site, NXDOMAIN elsewhere. The testbed's healthy DNS64 and
+// the gateway's carrier DNS proxy recurse through this.
+func (i *Internet) Resolver() dns.Resolver {
+	return dns.ResolverFunc(func(q dnswire.Question) (*dnswire.Message, error) {
+		if z := i.Auth.Match(dnswire.CanonicalName(q.Name)); z != nil {
+			return z.Resolve(q)
+		}
+		return dns.NXDomain(), nil
+	})
+}
+
+// Site describes one public service.
+type Site struct {
+	// Name is the apex DNS name ("ip6.me"). Subdomain records can be
+	// added to Zone afterwards.
+	Name string
+	// V4 and V6 are the service addresses; either may be invalid for
+	// single-stack sites.
+	V4 netip.Addr
+	V6 netip.Addr
+	// Zone is the site's authoritative zone (populated with apex records).
+	Zone *dns.Zone
+}
+
+// AddSite registers a site: DNS records, host aliases, and (when
+// handler is non-nil) an HTTP virtual host.
+func (i *Internet) AddSite(name string, v4, v6 netip.Addr, handler httpsim.Handler) *Site {
+	z := dns.NewZone(name)
+	if v4.IsValid() {
+		z.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: v4})
+		i.Host.AddIPv4Alias(v4)
+		i.addPTR(v4, name)
+		if handler != nil {
+			i.byAddr[v4] = handler
+		}
+	}
+	if v6.IsValid() {
+		z.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeAAAA, TTL: 300, Addr: v6})
+		i.Host.AddIPv6Static(v6, netip.PrefixFrom(v6, 128))
+		if handler != nil {
+			i.byAddr[v6] = handler
+		}
+	}
+	i.Auth.AddZone(z)
+	return &Site{Name: name, V4: v4, V6: v6, Zone: z}
+}
+
+// AddSubdomain registers an additional name within a site, with its own
+// addresses and optional handler.
+func (i *Internet) AddSubdomain(site *Site, label string, v4, v6 netip.Addr, handler httpsim.Handler) {
+	if v4.IsValid() {
+		site.Zone.MustAdd(dnswire.RR{Name: label, Type: dnswire.TypeA, TTL: 300, Addr: v4})
+		i.Host.AddIPv4Alias(v4)
+		if handler != nil {
+			i.byAddr[v4] = handler
+		}
+	}
+	if v6.IsValid() {
+		site.Zone.MustAdd(dnswire.RR{Name: label, Type: dnswire.TypeAAAA, TTL: 300, Addr: v6})
+		i.Host.AddIPv6Static(v6, netip.PrefixFrom(v6, 128))
+		if handler != nil {
+			i.byAddr[v6] = handler
+		}
+	}
+}
+
+// addPTR registers the reverse mapping for a site address.
+func (i *Internet) addPTR(v4 netip.Addr, name string) {
+	i.reverse.MustAdd(dnswire.RR{
+		Name: dns64.ReverseName(v4), Type: dnswire.TypePTR, TTL: 300,
+		Target: dnswire.CanonicalName(name),
+	})
+}
+
+// ServeLocal dispatches a request to the site bound at dst without any
+// wire traffic — used by the VPN concentrator, which lives on the same
+// cloud and egresses onto the IPv4 internet directly.
+func (i *Internet) ServeLocal(dst netip.Addr, req *httpsim.Request) *httpsim.Response {
+	if handler, ok := i.byAddr[dst]; ok {
+		req.ServerAddr = dst
+		return handler.Serve(req)
+	}
+	return &httpsim.Response{Status: 404, Body: []byte("no such site")}
+}
+
+// BindUDPService exposes a raw UDP service (e.g. the Echolink-style
+// IPv4-literal endpoint) on the cloud host.
+func (i *Internet) BindUDPService(addr netip.Addr, port uint16, handler hoststack.UDPHandler) {
+	if addr.Is4() {
+		i.Host.AddIPv4Alias(addr)
+	} else {
+		i.Host.AddIPv6Static(addr, netip.PrefixFrom(addr, 128))
+	}
+	i.Host.BindUDP(port, handler)
+}

@@ -1,0 +1,74 @@
+package inet
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+)
+
+func okHandler(tag string) httpsim.Handler {
+	return httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+		return &httpsim.Response{Status: 200, Body: []byte(tag)}
+	})
+}
+
+func TestResolverServesRegisteredSites(t *testing.T) {
+	i := New(netsim.NewNetwork())
+	site := i.AddSite("ip6.me", netip.MustParseAddr("23.153.8.71"), netip.MustParseAddr("2001:4810:0:3::71"), okHandler("ip6me"))
+	i.AddSubdomain(site, "www", netip.MustParseAddr("23.153.8.72"), netip.Addr{}, nil)
+
+	r := i.Resolver()
+	resp, err := r.Resolve(dnswire.Question{Name: "ip6.me", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if err != nil || len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("23.153.8.71") {
+		t.Fatalf("A = %+v err=%v", resp, err)
+	}
+	resp, err = r.Resolve(dnswire.Question{Name: "ip6.me", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN})
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("AAAA = %+v err=%v", resp, err)
+	}
+	resp, err = r.Resolve(dnswire.Question{Name: "www.ip6.me", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("sub A = %+v err=%v", resp, err)
+	}
+	// Unknown names are NXDOMAIN (not REFUSED): this is "all of DNS".
+	resp, err = r.Resolve(dnswire.Question{Name: "unknown.example", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if err != nil || resp.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("unknown = %+v err=%v", resp, err)
+	}
+}
+
+func TestServeLocalRoutesByAddress(t *testing.T) {
+	i := New(netsim.NewNetwork())
+	a4 := netip.MustParseAddr("203.0.113.50")
+	i.AddSite("a.example", a4, netip.Addr{}, okHandler("site-a"))
+
+	resp := i.ServeLocal(a4, &httpsim.Request{Method: "GET", Path: "/", Host: "whatever.example"})
+	if string(resp.Body) != "site-a" {
+		t.Errorf("body = %q (routing must be by address, not Host header)", resp.Body)
+	}
+	resp = i.ServeLocal(netip.MustParseAddr("203.0.113.51"), &httpsim.Request{})
+	if resp.Status != 404 {
+		t.Errorf("unknown addr status = %d", resp.Status)
+	}
+}
+
+func TestSingleStackSites(t *testing.T) {
+	i := New(netsim.NewNetwork())
+	v4only := i.AddSite("v4.example", netip.MustParseAddr("198.51.100.1"), netip.Addr{}, nil)
+	v6only := i.AddSite("v6.example", netip.Addr{}, netip.MustParseAddr("2001:db8::1"), nil)
+
+	r := i.Resolver()
+	resp, _ := r.Resolve(dnswire.Question{Name: "v4.example", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN})
+	if len(resp.Answers) != 0 || resp.Rcode != dnswire.RcodeSuccess {
+		t.Errorf("v4-only AAAA should be NODATA: %+v", resp)
+	}
+	resp, _ = r.Resolve(dnswire.Question{Name: "v6.example", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if len(resp.Answers) != 0 || resp.Rcode != dnswire.RcodeSuccess {
+		t.Errorf("v6-only A should be NODATA: %+v", resp)
+	}
+	_ = v4only
+	_ = v6only
+}

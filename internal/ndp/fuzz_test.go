@@ -1,0 +1,48 @@
+package ndp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Every ND parser must be total: hosts parse whatever ICMPv6 bodies the
+// fabric delivers.
+func TestParsersNeverPanic(t *testing.T) {
+	parsers := map[string]func([]byte){
+		"RA": func(b []byte) {
+			if ra, err := ParseRouterAdvert(b); err == nil {
+				_ = ra.Marshal()
+			}
+		},
+		"RS": func(b []byte) {
+			if rs, err := ParseRouterSolicit(b); err == nil {
+				_ = rs.Marshal()
+			}
+		},
+		"NS": func(b []byte) {
+			if ns, err := ParseNeighborSolicit(b); err == nil {
+				_ = ns.Marshal()
+			}
+		},
+		"NA": func(b []byte) {
+			if na, err := ParseNeighborAdvert(b); err == nil {
+				_ = na.Marshal()
+			}
+		},
+	}
+	for name, parse := range parsers {
+		parse := parse
+		prop := func(data []byte) (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					ok = false
+				}
+			}()
+			parse(data)
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

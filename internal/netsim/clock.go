@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock is a virtual clock. Time only advances when the owning Network
+// processes events, which makes every simulation run deterministic and
+// lets expiry-driven behaviour (DHCP leases, NAT64 session timeouts, RA
+// lifetimes) be tested without real sleeping.
+type Clock struct {
+	now    time.Time
+	timers timerHeap
+	seq    uint64
+}
+
+// NewClock returns a clock starting at a fixed, arbitrary epoch.
+func NewClock() *Clock {
+	return &Clock{now: time.Date(2024, time.November, 17, 9, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Timer is a handle for a scheduled callback.
+type Timer struct {
+	when    time.Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+// Stop cancels the timer. It is safe to call multiple times.
+func (t *Timer) Stop() {
+	if t != nil {
+		t.stopped = true
+	}
+}
+
+// AfterFunc schedules fn to run d after the current virtual time.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.seq++
+	t := &Timer{when: c.now.Add(d), seq: c.seq, fn: fn}
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// nextTimer returns the earliest pending timer without popping it, or nil.
+func (c *Clock) nextTimer() *Timer {
+	for len(c.timers) > 0 {
+		t := c.timers[0]
+		if t.stopped {
+			heap.Pop(&c.timers)
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// popTimer removes and returns the earliest pending timer, advancing the
+// clock to its deadline. Returns nil when no timers remain.
+func (c *Clock) popTimer() *Timer {
+	t := c.nextTimer()
+	if t == nil {
+		return nil
+	}
+	heap.Pop(&c.timers)
+	if t.when.After(c.now) {
+		c.now = t.when
+	}
+	return t
+}
+
+// advance moves the clock forward to tm if tm is later than now.
+func (c *Clock) advance(tm time.Time) {
+	if tm.After(c.now) {
+		c.now = tm
+	}
+}
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

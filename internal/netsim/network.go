@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Frame is an Ethernet-style layer-2 frame. Payload holds an encoded
+// layer-3 packet (ARP, IPv4 or IPv6).
+type Frame struct {
+	Src       MAC
+	Dst       MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// EtherType values used by the simulator.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeIPv6 uint16 = 0x86dd
+)
+
+// Clone returns a deep copy of the frame so receivers may mutate payloads.
+func (f Frame) Clone() Frame {
+	p := make([]byte, len(f.Payload))
+	copy(p, f.Payload)
+	f.Payload = p
+	return f
+}
+
+// FrameHandler receives frames delivered to a NIC.
+type FrameHandler interface {
+	HandleFrame(nic *NIC, f Frame)
+}
+
+// FrameHandlerFunc adapts a function to the FrameHandler interface.
+type FrameHandlerFunc func(nic *NIC, f Frame)
+
+// HandleFrame calls fn(nic, f).
+func (fn FrameHandlerFunc) HandleFrame(nic *NIC, f Frame) { fn(nic, f) }
+
+// DefaultLinkLatency is the per-hop delivery delay applied to frames.
+const DefaultLinkLatency = 10 * time.Microsecond
+
+// Network owns the virtual clock and the pending delivery queue. All
+// frame deliveries and timer callbacks execute from Run/RunFor in a
+// single goroutine, in deterministic (time, sequence) order.
+type Network struct {
+	Clock *Clock
+	macs  MACAllocator
+
+	queue   eventQueue
+	seq     uint64
+	frames  uint64 // total frames delivered
+	dropped uint64 // frames with no peer
+}
+
+type event struct {
+	when time.Time
+	seq  uint64
+	fn   func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*q = old[:n-1]
+	return ev
+}
+
+// NewNetwork returns an empty fabric with a fresh virtual clock.
+func NewNetwork() *Network {
+	return &Network{Clock: NewClock()}
+}
+
+// AllocMAC returns a unique MAC address for a new interface.
+func (n *Network) AllocMAC() MAC { return n.macs.Next() }
+
+// NewNIC creates an unattached NIC owned by handler. The NIC must be
+// connected with Connect before frames can flow.
+func (n *Network) NewNIC(name string, handler FrameHandler) *NIC {
+	return &NIC{net: n, name: name, mac: n.AllocMAC(), handler: handler}
+}
+
+// Connect wires two NICs with a point-to-point link.
+func (n *Network) Connect(a, b *NIC) {
+	a.peer, b.peer = b, a
+}
+
+// schedule enqueues fn to run at virtual time now+d.
+func (n *Network) schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	heap.Push(&n.queue, event{when: n.Clock.Now().Add(d), seq: n.seq, fn: fn})
+}
+
+// FramesDelivered reports the total number of frames delivered so far.
+func (n *Network) FramesDelivered() uint64 { return n.frames }
+
+// FramesDropped reports frames transmitted on unconnected NICs.
+func (n *Network) FramesDropped() uint64 { return n.dropped }
+
+// step executes the single earliest pending event or timer. When
+// useDeadline is set, events beyond deadline are left queued. It reports
+// whether anything ran.
+func (n *Network) step(deadline time.Time, useDeadline bool) bool {
+	var evWhen time.Time
+	haveEv := len(n.queue) > 0
+	if haveEv {
+		evWhen = n.queue[0].when
+	}
+	tm := n.Clock.nextTimer()
+
+	runEvent := haveEv && (tm == nil || !evWhen.After(tm.when))
+	switch {
+	case !haveEv && tm == nil:
+		return false
+	case runEvent:
+		if useDeadline && evWhen.After(deadline) {
+			return false
+		}
+		ev := heap.Pop(&n.queue).(event)
+		n.Clock.advance(ev.when)
+		ev.fn()
+		return true
+	default:
+		if useDeadline && tm.when.After(deadline) {
+			return false
+		}
+		t := n.Clock.popTimer()
+		if t != nil {
+			t.fn()
+		}
+		return true
+	}
+}
+
+// Run drains every pending event and timer, advancing virtual time as
+// needed, and returns when the fabric is quiescent. maxEvents guards
+// against livelock from self-rearming timers; 0 means a generous default.
+func (n *Network) Run(maxEvents int) int {
+	if maxEvents <= 0 {
+		maxEvents = 1 << 20
+	}
+	ran := 0
+	for ran < maxEvents && n.step(time.Time{}, false) {
+		ran++
+	}
+	return ran
+}
+
+// RunFor processes events until virtual time now+d is reached, then
+// advances the clock to exactly that instant. Periodic timers that
+// re-arm themselves (e.g. RA beacons) make Run unsuitable; RunFor bounds
+// the simulation window instead.
+func (n *Network) RunFor(d time.Duration) int {
+	deadline := n.Clock.Now().Add(d)
+	ran := 0
+	for ran < 1<<22 && n.step(deadline, true) {
+		ran++
+	}
+	n.Clock.advance(deadline)
+	return ran
+}
+
+// RunUntil processes events until pred returns true or the fabric goes
+// quiet within the supplied window. It reports whether pred became true.
+func (n *Network) RunUntil(pred func() bool, window time.Duration) bool {
+	for i := 0; i < 1<<22; i++ {
+		if pred() {
+			return true
+		}
+		if !n.step(n.Clock.Now().Add(window), true) {
+			n.Clock.advance(n.Clock.Now().Add(window))
+			return pred()
+		}
+	}
+	return pred()
+}

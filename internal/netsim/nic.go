@@ -1,0 +1,67 @@
+package netsim
+
+// NIC is a network interface endpoint: one side of a point-to-point link.
+// Frames transmitted on a NIC are delivered to the peer NIC's handler
+// after the link latency elapses on the virtual clock.
+type NIC struct {
+	net     *Network
+	name    string
+	mac     MAC
+	peer    *NIC
+	handler FrameHandler
+
+	up bool
+
+	txFrames uint64
+	rxFrames uint64
+	txBytes  uint64
+	rxBytes  uint64
+}
+
+// Name returns the interface name given at creation.
+func (nc *NIC) Name() string { return nc.name }
+
+// MAC returns the hardware address of the interface.
+func (nc *NIC) MAC() MAC { return nc.mac }
+
+// SetMAC overrides the auto-allocated hardware address.
+func (nc *NIC) SetMAC(m MAC) { nc.mac = m }
+
+// Network returns the fabric this NIC belongs to.
+func (nc *NIC) Network() *Network { return nc.net }
+
+// Connected reports whether the NIC has a link peer.
+func (nc *NIC) Connected() bool { return nc.peer != nil }
+
+// SetHandler replaces the frame handler (used when a device is built
+// before its stack exists).
+func (nc *NIC) SetHandler(h FrameHandler) { nc.handler = h }
+
+// Transmit sends a frame out this interface. If Src is unset it is
+// stamped with the NIC's own MAC. Delivery happens after the link latency.
+func (nc *NIC) Transmit(f Frame) {
+	if f.Src.IsZero() {
+		f.Src = nc.mac
+	}
+	nc.txFrames++
+	nc.txBytes += uint64(len(f.Payload))
+	peer := nc.peer
+	if peer == nil {
+		nc.net.dropped++
+		return
+	}
+	cp := f.Clone()
+	nc.net.schedule(DefaultLinkLatency, func() {
+		nc.net.frames++
+		peer.rxFrames++
+		peer.rxBytes += uint64(len(cp.Payload))
+		if peer.handler != nil {
+			peer.handler.HandleFrame(peer, cp)
+		}
+	})
+}
+
+// Stats returns cumulative (txFrames, rxFrames, txBytes, rxBytes).
+func (nc *NIC) Stats() (txFrames, rxFrames, txBytes, rxBytes uint64) {
+	return nc.txFrames, nc.rxFrames, nc.txBytes, nc.rxBytes
+}

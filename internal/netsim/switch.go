@@ -1,0 +1,115 @@
+package netsim
+
+// FrameFilter inspects a frame arriving on a switch port and reports
+// whether it may be forwarded. Returning false drops the frame. The
+// managed-switch DHCPv4 snooping intervention from the paper is built on
+// this hook.
+type FrameFilter func(ingressPort int, f Frame) bool
+
+// Switch is a transparent learning bridge. Each port is a NIC whose peer
+// is the attached device's NIC. Unknown-destination and multicast frames
+// flood to every port except the ingress.
+type Switch struct {
+	name    string
+	net     *Network
+	ports   []*NIC
+	table   map[MAC]int
+	filters []FrameFilter
+
+	flooded   uint64
+	forwarded uint64
+	filtered  uint64
+}
+
+// NewSwitch creates a switch with no ports on the given fabric.
+func NewSwitch(net *Network, name string) *Switch {
+	return &Switch{name: name, net: net, table: make(map[MAC]int)}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Network returns the fabric the switch lives on.
+func (s *Switch) Network() *Network { return s.net }
+
+// AddFilter registers a snooping filter consulted for every ingress frame.
+func (s *Switch) AddFilter(f FrameFilter) { s.filters = append(s.filters, f) }
+
+// NumPorts returns the current port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// AttachPort creates a new switch port and cables it to the given NIC.
+// It returns the port index.
+func (s *Switch) AttachPort(peer *NIC) int {
+	idx := len(s.ports)
+	port := s.net.NewNIC(s.name+"-p"+itoa(idx), portHandler{s: s, port: idx})
+	s.ports = append(s.ports, port)
+	s.net.Connect(port, peer)
+	return idx
+}
+
+// PortNIC returns the switch-side NIC for a port (used to inject frames,
+// e.g. the managed switch's own Router Advertisements).
+func (s *Switch) PortNIC(i int) *NIC { return s.ports[i] }
+
+// InjectAll transmits a frame out of every port, as if originated by the
+// switch itself.
+func (s *Switch) InjectAll(f Frame) {
+	for _, p := range s.ports {
+		p.Transmit(f)
+	}
+}
+
+// Stats returns (forwarded, flooded, filtered) frame counts.
+func (s *Switch) Stats() (forwarded, flooded, filtered uint64) {
+	return s.forwarded, s.flooded, s.filtered
+}
+
+type portHandler struct {
+	s    *Switch
+	port int
+}
+
+func (h portHandler) HandleFrame(_ *NIC, f Frame) { h.s.ingress(h.port, f) }
+
+func (s *Switch) ingress(port int, f Frame) {
+	if !f.Src.IsMulticast() && !f.Src.IsZero() {
+		s.table[f.Src] = port
+	}
+	for _, flt := range s.filters {
+		if !flt(port, f) {
+			s.filtered++
+			return
+		}
+	}
+	if !f.Dst.IsMulticast() {
+		if out, ok := s.table[f.Dst]; ok {
+			if out != port {
+				s.forwarded++
+				s.ports[out].Transmit(f)
+			}
+			return
+		}
+	}
+	s.flooded++
+	for i, p := range s.ports {
+		if i == port {
+			continue
+		}
+		p.Transmit(f)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

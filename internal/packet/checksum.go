@@ -1,0 +1,66 @@
+// Package packet implements wire-format encoding and decoding for the
+// layer-3 and layer-4 protocols the testbed exchanges over the simulated
+// fabric: IPv4, IPv6, UDP, TCP, ICMPv4, ICMPv6 and ARP. Every header is
+// encoded byte-for-byte per its RFC so translation components (NAT64,
+// CLAT, NAT44) can operate exactly as the specifications describe.
+package packet
+
+import "net/netip"
+
+// Checksum computes the RFC 1071 internet checksum over data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumBytes(0, data))
+}
+
+// sumBytes accumulates 16-bit big-endian words of data into sum.
+func sumBytes(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderChecksum computes the transport checksum for proto over
+// payload using the IPv4 or IPv6 pseudo-header for src/dst. Both
+// addresses must be the same family.
+func PseudoHeaderChecksum(proto uint8, src, dst netip.Addr, payload []byte) uint16 {
+	var sum uint32
+	if src.Is4() {
+		s, d := src.As4(), dst.As4()
+		sum = sumBytes(sum, s[:])
+		sum = sumBytes(sum, d[:])
+		sum += uint32(proto)
+		sum += uint32(len(payload))
+	} else {
+		s, d := src.As16(), dst.As16()
+		sum = sumBytes(sum, s[:])
+		sum = sumBytes(sum, d[:])
+		sum += uint32(len(payload)) // upper-layer packet length
+		sum += uint32(proto)
+	}
+	sum = sumBytes(sum, payload)
+	return finishChecksum(sum)
+}
+
+func be16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func put16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func put32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// These properties assert total robustness: arbitrary input bytes may
+// produce errors but never panics, and any successfully parsed packet
+// re-marshals without panicking. The translators (NAT64/CLAT/NAT44)
+// feed each other parser output, so totality matters.
+
+func neverPanics(t *testing.T, name string, f func(data []byte)) {
+	t.Helper()
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		f(data)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("%s panicked: %v", name, err)
+	}
+}
+
+func TestParseIPv4NeverPanics(t *testing.T) {
+	neverPanics(t, "ParseIPv4", func(data []byte) {
+		if p, err := ParseIPv4(data); err == nil {
+			_ = p.Marshal()
+		}
+	})
+}
+
+func TestParseIPv6NeverPanics(t *testing.T) {
+	neverPanics(t, "ParseIPv6", func(data []byte) {
+		if p, err := ParseIPv6(data); err == nil {
+			_ = p.Marshal()
+		}
+	})
+}
+
+func TestParseUDPNeverPanics(t *testing.T) {
+	src := netip.MustParseAddr("192.0.2.1")
+	dst := netip.MustParseAddr("192.0.2.2")
+	neverPanics(t, "ParseUDP", func(data []byte) {
+		if u, err := ParseUDP(data, src, dst); err == nil {
+			_ = u.Marshal(src, dst)
+		}
+	})
+}
+
+func TestParseTCPNeverPanics(t *testing.T) {
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("2001:db8::2")
+	neverPanics(t, "ParseTCP", func(data []byte) {
+		if tc, err := ParseTCP(data, src, dst); err == nil {
+			_ = tc.Marshal(src, dst)
+		}
+	})
+}
+
+func TestParseICMPNeverPanics(t *testing.T) {
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("2001:db8::2")
+	neverPanics(t, "ParseICMPv4", func(data []byte) {
+		if ic, err := ParseICMPv4(data); err == nil {
+			_ = ic.MarshalV4()
+		}
+	})
+	neverPanics(t, "ParseICMPv6", func(data []byte) {
+		if ic, err := ParseICMPv6(data, src, dst); err == nil {
+			_ = ic.MarshalV6(src, dst)
+		}
+	})
+}
+
+func TestParseARPNeverPanics(t *testing.T) {
+	neverPanics(t, "ParseARP", func(data []byte) {
+		if a, err := ParseARP(data); err == nil {
+			_ = a.Marshal()
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package portal implements the measurement endpoints the paper's
+// testbed redirects clients into: ip6.me (a page that reports the
+// client's address family — the final intervention target) and a mirror
+// of test-ipv6.com with its 10-point readiness score.
+//
+// Two scoring logics are provided:
+//
+//   - ScoreBuggy reproduces the paper's Fig. 5 pathology: each subtest
+//     passes if its endpoint simply answered, without validating the
+//     address family of the connection. Under wildcard DNS poisoning,
+//     the A record for even the IPv6-only test hostname points at the
+//     mirror itself, so an IPv4-only client "passes" everything: 10/10.
+//   - ScoreFixed is the paper's §VI desired logic: subtests validate
+//     the connection family, and a perfect 10/10 is reserved for
+//     clients whose IPv4-literal traffic arrived through NAT64 (i.e.
+//     RFC 8925/CLAT clients) — natively dual-stack clients cap at 9.
+package portal
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/httpsim"
+)
+
+// IP6MeBody is the marker the intervention page carries.
+const IP6MeBody = "This page shows your IPv4 or IPv6 address"
+
+// IP6MeHandler builds the ip6.me endpoint: it echoes the client's
+// address and family, and tells IPv4-only visitors why the internet is
+// unavailable (the testbed's graceful notification).
+func IP6MeHandler() httpsim.Handler {
+	return httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+		family := "IPv6"
+		hint := "You are connecting with an IPv6 address."
+		if req.ClientAddr.Is4() {
+			family = "IPv4"
+			hint = "You are connecting with an IPv4 address. This network is IPv6-only: " +
+				"your device's lack of IPv6 support is why internet access is unavailable. " +
+				"Please visit the helpdesk for assistance."
+		}
+		body := fmt.Sprintf("%s\nfamily=%s\naddr=%s\n%s\n", IP6MeBody, family, req.ClientAddr, hint)
+		return &httpsim.Response{Status: 200, Body: []byte(body)}
+	})
+}
+
+// MirrorConfig describes a test-ipv6.com mirror deployment.
+type MirrorConfig struct {
+	// Name is the mirror's apex domain (test-ipv6.com in the paper).
+	Name string
+	// V4 and V6 are the dual-stack mirror addresses.
+	V4, V6 netip.Addr
+	// V4Only and V6Only are the addresses behind the single-stack test
+	// hostnames ipv4.<name> and ipv6.<name>.
+	V4Only netip.Addr
+	V6Only netip.Addr
+	// NAT64PublicV4 is the testbed NAT64's public address; arrivals from
+	// it indicate translated (CLAT / v6-only) clients.
+	NAT64PublicV4 netip.Addr
+}
+
+// MTUProbeSize is the body size of the /mtu/ endpoint — large enough
+// that it cannot cross a constrained tunnel (like the testbed's 5G
+// link) in a single default-sized segment, so the transfer only
+// completes when path MTU discovery works end to end.
+const MTUProbeSize = 1800
+
+// MirrorHandler serves the mirror endpoints: /ip/ is a machine-readable
+// record of how the client reached it; /mtu/ is the same padded to
+// MTUProbeSize bytes (the "Test IPv6 large packet" probe).
+func MirrorHandler(cfg MirrorConfig) httpsim.Handler {
+	return httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+		family := "IPv6"
+		if req.ClientAddr.Is4() {
+			family = "IPv4"
+		}
+		nat64 := req.ClientAddr == cfg.NAT64PublicV4
+		body := fmt.Sprintf("mirror=%s\nfamily=%s\naddr=%s\nnat64=%v\n", cfg.Name, family, req.ClientAddr, nat64)
+		if strings.HasPrefix(req.Path, "/mtu/") {
+			pad := MTUProbeSize - len(body)
+			if pad > 0 {
+				body += strings.Repeat("x", pad)
+			}
+		}
+		return &httpsim.Response{Status: 200, Body: []byte(body)}
+	})
+}
+
+// SubResult is one subtest outcome.
+type SubResult struct {
+	Name string
+	// Fetched reports HTTP success.
+	Fetched bool
+	// Family is "IPv4"/"IPv6" as the server observed, "" when unreachable.
+	Family string
+	// ViaNAT64 reports arrival from the NAT64 public address.
+	ViaNAT64 bool
+	Err      string
+}
+
+// Results is the raw outcome of a full test run.
+type Results struct {
+	Subs []SubResult
+}
+
+// Fetcher abstracts the browsing client (satisfied by a closure over
+// hoststack + httpsim so portal stays import-light).
+type Fetcher func(url string) (*httpsim.Response, error)
+
+// SubtestNames lists the five subtests in order, mirroring the real
+// test-ipv6.com suite: four DNS-name-based probes (the property that
+// lets wildcard A poisoning fool the buggy scorer) plus one IPv4
+// literal probe ("Test IPv4 without DNS") — the only probe that can
+// separate natively dual-stack clients from CLAT clients.
+var SubtestNames = []string{"a-record-v4", "aaaa-record-v6", "dual-stack", "v6-mtu", "v4-literal"}
+
+// SubtestHost returns the vhost label a DNS-based subtest probes ("" for
+// the literal test).
+func SubtestHost(name string) string {
+	switch name {
+	case "a-record-v4":
+		return "ipv4"
+	case "aaaa-record-v6":
+		return "ipv6"
+	case "dual-stack":
+		return "ds"
+	case "v6-mtu":
+		return "mtu6"
+	}
+	return ""
+}
+
+// Run executes the five subtests a mirror visit performs.
+func Run(fetch Fetcher, cfg MirrorConfig) *Results {
+	var tests []struct {
+		name string
+		url  string
+	}
+	for _, n := range SubtestNames {
+		var url string
+		switch n {
+		case "v4-literal":
+			url = "http://" + cfg.V4.String() + "/ip/"
+		case "v6-mtu":
+			url = "http://" + SubtestHost(n) + "." + cfg.Name + "/mtu/"
+		default:
+			url = "http://" + SubtestHost(n) + "." + cfg.Name + "/ip/"
+		}
+		tests = append(tests, struct {
+			name string
+			url  string
+		}{n, url})
+	}
+	res := &Results{}
+	for _, tc := range tests {
+		sub := SubResult{Name: tc.name}
+		resp, err := fetch(tc.url)
+		switch {
+		case err != nil:
+			sub.Err = err.Error()
+		case tc.name == "v6-mtu" && len(resp.Body) < MTUProbeSize:
+			sub.Err = "short body (MTU black hole?)"
+		case resp.Status == 200 && strings.Contains(string(resp.Body), "mirror="+cfg.Name):
+			sub.Fetched = true
+			sub.Family = fieldValue(string(resp.Body), "family")
+			sub.ViaNAT64 = fieldValue(string(resp.Body), "nat64") == "true"
+		}
+		res.Subs = append(res.Subs, sub)
+	}
+	return res
+}
+
+func fieldValue(body, key string) string {
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// Score is a 0..10 readiness verdict with explanation.
+type Score struct {
+	Points int
+	Max    int
+	Notes  []string
+}
+
+// String renders "N/10".
+func (s Score) String() string { return fmt.Sprintf("%d/%d", s.Points, s.Max) }
+
+// ScoreBuggy is the SC23-era mirror logic: two points per subtest that
+// merely answered. It cannot tell that a "v6" endpoint was reached over
+// IPv4 via a poisoned A record — the Fig. 5 erroneous 10/10.
+func ScoreBuggy(r *Results) Score {
+	s := Score{Max: 10}
+	for _, sub := range r.Subs {
+		if sub.Fetched {
+			s.Points += 2
+		} else {
+			s.Notes = append(s.Notes, sub.Name+" unreachable")
+		}
+	}
+	return s
+}
+
+// ScoreFixed validates each subtest's address family and reserves 10/10
+// for clients whose IPv4 path is translated (RFC 8925/CLAT), per the
+// paper's §VI lessons.
+func ScoreFixed(r *Results) Score {
+	s := Score{Max: 10}
+	nativeV4 := false
+	for _, sub := range r.Subs {
+		pass := false
+		switch sub.Name {
+		case "a-record-v4", "v4-literal":
+			pass = sub.Fetched && sub.Family == "IPv4"
+			if pass && !sub.ViaNAT64 {
+				// Reached the v4 endpoint from a non-NAT64 source: the
+				// client still runs a native IPv4 stack.
+				nativeV4 = true
+			}
+		default: // every IPv6 subtest must actually arrive over IPv6
+			pass = sub.Fetched && sub.Family == "IPv6"
+			if sub.Fetched && sub.Family != "IPv6" {
+				s.Notes = append(s.Notes, sub.Name+" reached over IPv4 (poisoned A record?)")
+			}
+		}
+		if pass {
+			s.Points += 2
+		} else if !sub.Fetched {
+			s.Notes = append(s.Notes, sub.Name+" unreachable")
+		}
+	}
+	if s.Points == 10 && nativeV4 {
+		s.Points = 9
+		s.Notes = append(s.Notes,
+			"dual-stack: IPv4 still used natively; only RFC 8925 (option 108) clients score 10/10")
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package portal
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/httpsim"
+)
+
+func testMirrorConfig() MirrorConfig {
+	return MirrorConfig{
+		Name:          "test-ipv6.com",
+		V4:            netip.MustParseAddr("216.218.228.119"),
+		V6:            netip.MustParseAddr("2001:470:1:18::119"),
+		V4Only:        netip.MustParseAddr("216.218.228.120"),
+		V6Only:        netip.MustParseAddr("2001:470:1:18::120"),
+		NAT64PublicV4: netip.MustParseAddr("203.0.113.1"),
+	}
+}
+
+func TestIP6MeHandlerFamilies(t *testing.T) {
+	h := IP6MeHandler()
+	resp := h.Serve(&httpsim.Request{ClientAddr: netip.MustParseAddr("192.168.12.10")})
+	body := string(resp.Body)
+	if !strings.Contains(body, "family=IPv4") || !strings.Contains(body, "lack of IPv6 support") {
+		t.Errorf("v4 body = %q", body)
+	}
+	resp = h.Serve(&httpsim.Request{ClientAddr: netip.MustParseAddr("2607:fb90::1")})
+	body = string(resp.Body)
+	if !strings.Contains(body, "family=IPv6") || strings.Contains(body, "lack of IPv6") {
+		t.Errorf("v6 body = %q", body)
+	}
+}
+
+func TestMirrorHandlerNAT64Detection(t *testing.T) {
+	cfg := testMirrorConfig()
+	h := MirrorHandler(cfg)
+	resp := h.Serve(&httpsim.Request{ClientAddr: cfg.NAT64PublicV4})
+	if !strings.Contains(string(resp.Body), "nat64=true") {
+		t.Errorf("body = %q", resp.Body)
+	}
+	resp = h.Serve(&httpsim.Request{ClientAddr: netip.MustParseAddr("203.0.113.2")})
+	if !strings.Contains(string(resp.Body), "nat64=false") {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+// synthFetcher fabricates responses per subtest for scoring-logic tests.
+func synthFetcher(cfg MirrorConfig, family map[string]string, nat64 map[string]bool, fail map[string]bool) Fetcher {
+	return func(url string) (*httpsim.Response, error) {
+		for _, name := range SubtestNames {
+			var match bool
+			if name == "v4-literal" {
+				match = strings.Contains(url, cfg.V4.String())
+			} else {
+				match = strings.Contains(url, SubtestHost(name)+"."+cfg.Name)
+			}
+			if !match {
+				continue
+			}
+			if fail[name] {
+				return nil, fmt.Errorf("unreachable")
+			}
+			body := fmt.Sprintf("mirror=%s\nfamily=%s\nnat64=%v\n", cfg.Name, family[name], nat64[name])
+			if name == "v6-mtu" {
+				body += strings.Repeat("x", MTUProbeSize)
+			}
+			return &httpsim.Response{Status: 200, Body: []byte(body)}, nil
+		}
+		return nil, fmt.Errorf("unknown url %s", url)
+	}
+}
+
+func allIPv6(cfg MirrorConfig) (map[string]string, map[string]bool) {
+	fam := map[string]string{}
+	n64 := map[string]bool{}
+	for _, n := range SubtestNames {
+		fam[n] = "IPv6"
+	}
+	fam["a-record-v4"] = "IPv4"
+	fam["v4-literal"] = "IPv4"
+	return fam, n64
+}
+
+func TestScoreFixedCLATClientPerfect(t *testing.T) {
+	cfg := testMirrorConfig()
+	fam, n64 := allIPv6(cfg)
+	n64["a-record-v4"] = true
+	n64["v4-literal"] = true
+	res := Run(synthFetcher(cfg, fam, n64, nil), cfg)
+	if s := ScoreFixed(res); s.Points != 10 {
+		t.Errorf("CLAT client = %v, want 10/10", s)
+	}
+}
+
+func TestScoreFixedDualStackCapped(t *testing.T) {
+	cfg := testMirrorConfig()
+	fam, n64 := allIPv6(cfg) // native v4: nat64 false
+	res := Run(synthFetcher(cfg, fam, n64, nil), cfg)
+	s := ScoreFixed(res)
+	if s.Points != 9 {
+		t.Errorf("dual stack = %v, want 9/10", s)
+	}
+	found := false
+	for _, n := range s.Notes {
+		if strings.Contains(n, "RFC 8925") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing explanation note: %v", s.Notes)
+	}
+}
+
+func TestScoreBuggyIgnoresFamily(t *testing.T) {
+	cfg := testMirrorConfig()
+	fam := map[string]string{}
+	for _, n := range SubtestNames {
+		fam[n] = "IPv4" // everything reached over IPv4 (poisoned DNS)
+	}
+	res := Run(synthFetcher(cfg, fam, nil, nil), cfg)
+	if s := ScoreBuggy(res); s.Points != 10 {
+		t.Errorf("buggy = %v, want the erroneous 10/10", s)
+	}
+	s := ScoreFixed(res)
+	if s.Points != 4 {
+		t.Errorf("fixed = %v, want 4/10 (only the two v4 subtests)", s)
+	}
+	hasPoisonNote := false
+	for _, n := range s.Notes {
+		if strings.Contains(n, "poisoned") {
+			hasPoisonNote = true
+		}
+	}
+	if !hasPoisonNote {
+		t.Errorf("fixed score should call out the poisoned A records: %v", s.Notes)
+	}
+}
+
+func TestScoreZeroWhenAllUnreachable(t *testing.T) {
+	cfg := testMirrorConfig()
+	fail := map[string]bool{}
+	for _, n := range SubtestNames {
+		fail[n] = true
+	}
+	res := Run(synthFetcher(cfg, nil, nil, fail), cfg)
+	if s := ScoreBuggy(res); s.Points != 0 {
+		t.Errorf("buggy = %v", s)
+	}
+	if s := ScoreFixed(res); s.Points != 0 {
+		t.Errorf("fixed = %v", s)
+	}
+}
+
+func TestScoreIPv6OnlyNoCLAT(t *testing.T) {
+	// An IPv6-only host without CLAT fails the v4 literal but passes
+	// everything DNS-based (DNS64 covers the A-only name).
+	cfg := testMirrorConfig()
+	fam, n64 := allIPv6(cfg)
+	n64["a-record-v4"] = true // reached via NAT64 thanks to DNS64
+	res := Run(synthFetcher(cfg, fam, n64, map[string]bool{"v4-literal": true}), cfg)
+	if s := ScoreFixed(res); s.Points != 8 {
+		t.Errorf("v6-only no-CLAT = %v, want 8/10", s)
+	}
+}
+
+func TestScoreString(t *testing.T) {
+	if (Score{Points: 7, Max: 10}).String() != "7/10" {
+		t.Error("Score.String wrong")
+	}
+}
+
+func TestSubtestHostMapping(t *testing.T) {
+	want := map[string]string{
+		"a-record-v4": "ipv4", "aaaa-record-v6": "ipv6",
+		"dual-stack": "ds", "v6-mtu": "mtu6", "v4-literal": "",
+	}
+	for n, w := range want {
+		if got := SubtestHost(n); got != w {
+			t.Errorf("SubtestHost(%s) = %q, want %q", n, got, w)
+		}
+	}
+}

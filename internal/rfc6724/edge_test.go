@@ -1,0 +1,71 @@
+package rfc6724
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestSelectSourceRule1PrefersSameAddress(t *testing.T) {
+	s := NewSelector()
+	dst := a("2607:fb90:9bda:a425::100")
+	cands := []CandidateSource{
+		{Addr: a("2607:fb90:9bda:a425::200")},
+		{Addr: dst}, // the destination itself is configured locally
+	}
+	src, ok := s.SelectSource(cands, dst)
+	if !ok || src != dst {
+		t.Errorf("src = %v, want the destination itself (rule 1)", src)
+	}
+}
+
+func TestSelectSourceEmptyCandidates(t *testing.T) {
+	s := NewSelector()
+	if _, ok := s.SelectSource(nil, a("2001:db8::1")); ok {
+		t.Error("empty candidate set produced a source")
+	}
+}
+
+func TestSortDestinationsEmptyAndSingle(t *testing.T) {
+	s := NewSelector()
+	if out := s.SortDestinations(nil); len(out) != 0 {
+		t.Error("nil input mangled")
+	}
+	one := []Destination{{Addr: a("2001:db8::1"), Source: a("2001:db8::2"), HasSource: true}}
+	if out := s.SortDestinations(one); len(out) != 1 || out[0].Addr != one[0].Addr {
+		t.Error("single input mangled")
+	}
+}
+
+func TestLongestPrefixTiebreak(t *testing.T) {
+	// Rule 9: with everything else equal, the destination sharing more
+	// prefix bits with its source wins.
+	s := NewSelector()
+	src := a("2001:db8:aaaa::1")
+	ds := []Destination{
+		{Addr: a("2001:db8:bbbb::9"), Source: src, HasSource: true}, // 32 shared bits
+		{Addr: a("2001:db8:aaaa::9"), Source: src, HasSource: true}, // 48+ shared bits
+	}
+	out := s.SortDestinations(ds)
+	if out[0].Addr != a("2001:db8:aaaa::9") {
+		t.Errorf("longest-prefix destination not preferred: %v", out[0].Addr)
+	}
+}
+
+func TestPolicyTableCustomRow(t *testing.T) {
+	// Operators may extend the table (e.g. deprioritizing the NAT64
+	// prefix); verify longest-prefix-match against a custom row.
+	s := NewSelector()
+	s.Table = append(s.Table, PolicyRow{
+		Prefix: netip.MustParsePrefix("64:ff9b::/96"), Precedence: 35, Label: 14,
+	})
+	if got := s.Precedence(a("64:ff9b::1.2.3.4")); got != 35 {
+		t.Errorf("custom row precedence = %d", got)
+	}
+	if got := s.Label(a("64:ff9b::1.2.3.4")); got != 14 {
+		t.Errorf("custom row label = %d", got)
+	}
+	// Other addresses are unaffected.
+	if got := s.Precedence(a("2607::1")); got != 40 {
+		t.Errorf("default precedence disturbed: %d", got)
+	}
+}

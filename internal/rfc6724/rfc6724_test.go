@@ -1,0 +1,265 @@
+package rfc6724
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func a(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestPolicyTableLookups(t *testing.T) {
+	s := NewSelector()
+	cases := []struct {
+		addr              string
+		precedence, label int
+	}{
+		{"::1", 50, 0},
+		{"2607:fb90::1", 40, 1},       // GUA
+		{"64:ff9b::be5c:9e04", 40, 1}, // NAT64 WKP matches ::/0 (not ::/96)
+		{"192.0.2.1", 35, 4},          // IPv4 via v4-mapped
+		{"2002::1", 30, 2},            // 6to4
+		{"2001::1", 5, 5},             // Teredo
+		{"fd00:976a::9", 3, 13},       // ULA
+		{"fec0::1", 1, 11},            // site-local
+	}
+	for _, c := range cases {
+		if got := s.Precedence(a(c.addr)); got != c.precedence {
+			t.Errorf("Precedence(%s) = %d, want %d", c.addr, got, c.precedence)
+		}
+		if got := s.Label(a(c.addr)); got != c.label {
+			t.Errorf("Label(%s) = %d, want %d", c.addr, got, c.label)
+		}
+	}
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		addr string
+		want int
+	}{
+		{"fe80::1", ScopeLinkLocal},
+		{"::1", ScopeLinkLocal},
+		{"2607:fb90::1", ScopeGlobal},
+		{"fd00:976a::9", ScopeGlobal}, // ULA is global scope (RFC 4193 §3)
+		{"fec0::1", ScopeSiteLocal},
+		{"ff02::1", 2},
+		{"ff05::2", 5},
+		{"192.168.12.10", ScopeGlobal},
+		{"169.254.1.1", ScopeLinkLocal},
+		{"127.0.0.1", ScopeLinkLocal},
+	}
+	for _, c := range cases {
+		if got := Scope(a(c.addr)); got != c.want {
+			t.Errorf("Scope(%s) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		x, y string
+		want int
+	}{
+		{"2001:db8::1", "2001:db8::2", 64}, // capped at 64
+		{"2001:db8::1", "2001:db8:1::1", 47},
+		{"fe80::1", "2001::1", 0},
+		{"2001:db8::1", "2001:db8::1", 64},
+		{"fd00:976a::9", "fd00:976a::10", 64},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen(a(c.x), a(c.y)); got != c.want {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestSelectSourcePrefersMatchingScope(t *testing.T) {
+	s := NewSelector()
+	cands := []CandidateSource{
+		{Addr: a("fe80::aaaa")},
+		{Addr: a("2607:fb90:9bda:a425::100")},
+	}
+	src, ok := s.SelectSource(cands, a("2607:fb90:1::1"))
+	if !ok || src != a("2607:fb90:9bda:a425::100") {
+		t.Errorf("src = %v/%v, want the GUA", src, ok)
+	}
+	// Link-local destination prefers the link-local source.
+	src, ok = s.SelectSource(cands, a("fe80::bbbb"))
+	if !ok || src != a("fe80::aaaa") {
+		t.Errorf("src = %v/%v, want the link-local", src, ok)
+	}
+}
+
+func TestSelectSourcePrefersMatchingLabel(t *testing.T) {
+	s := NewSelector()
+	// Host with a ULA and a GUA talking to a ULA destination: the ULA
+	// source wins via label matching (both label 13).
+	cands := []CandidateSource{
+		{Addr: a("2607:fb90:9bda:a425::100")},
+		{Addr: a("fd00:976a::100")},
+	}
+	src, ok := s.SelectSource(cands, a("fd00:976a::9"))
+	if !ok || src != a("fd00:976a::100") {
+		t.Errorf("src = %v, want ULA for ULA destination", src)
+	}
+	// Talking to a GUA, the GUA source wins.
+	src, ok = s.SelectSource(cands, a("2607:1234::1"))
+	if !ok || src != a("2607:fb90:9bda:a425::100") {
+		t.Errorf("src = %v, want GUA for GUA destination", src)
+	}
+}
+
+func TestSelectSourceAvoidsDeprecated(t *testing.T) {
+	s := NewSelector()
+	cands := []CandidateSource{
+		{Addr: a("2607:fb90:9bda:a425::100"), Deprecated: true},
+		{Addr: a("2607:fb90:9bda:a425::200")},
+	}
+	src, ok := s.SelectSource(cands, a("2607:1::1"))
+	if !ok || src != a("2607:fb90:9bda:a425::200") {
+		t.Errorf("src = %v, want the non-deprecated address", src)
+	}
+}
+
+func TestSelectSourceFamilyMismatch(t *testing.T) {
+	s := NewSelector()
+	cands := []CandidateSource{{Addr: a("192.168.12.10")}}
+	if _, ok := s.SelectSource(cands, a("2607::1")); ok {
+		t.Error("IPv4 source offered for IPv6 destination")
+	}
+	src, ok := s.SelectSource(cands, a("23.153.8.71"))
+	if !ok || src != a("192.168.12.10") {
+		t.Errorf("IPv4 src = %v/%v", src, ok)
+	}
+}
+
+func TestSortDestinationsPrefersAAAAOnDualStack(t *testing.T) {
+	// The paper's central assumption: a dual-stack host with both a GUA
+	// and an IPv4 address orders the AAAA destination first, so the
+	// poisoned A record is never used.
+	s := NewSelector()
+	ds := []Destination{
+		{Addr: a("23.153.8.71"), Source: a("192.168.12.50"), HasSource: true},                 // poisoned A
+		{Addr: a("2001:4810:0:3::71"), Source: a("2607:fb90:9bda:a425::50"), HasSource: true}, // real AAAA
+	}
+	out := s.SortDestinations(ds)
+	if !out[0].Addr.Is6() || out[0].Addr.Is4() {
+		t.Errorf("dual-stack host ordered IPv4 first: %v", out[0].Addr)
+	}
+}
+
+func TestSortDestinationsUnusableLast(t *testing.T) {
+	s := NewSelector()
+	ds := []Destination{
+		{Addr: a("2001:4810:0:3::71"), HasSource: false}, // no IPv6 on host
+		{Addr: a("23.153.8.71"), Source: a("192.168.12.50"), HasSource: true},
+	}
+	out := s.SortDestinations(ds)
+	if out[0].Addr != a("23.153.8.71") {
+		t.Errorf("unusable destination sorted first: %v", out[0].Addr)
+	}
+}
+
+func TestSortDestinationsNAT64VsIPv4(t *testing.T) {
+	// IPv6-only host with CLAT disabled: NAT64-synthesized AAAA
+	// (64:ff9b::/96) must be usable and ordered before an unusable A.
+	s := NewSelector()
+	ds := []Destination{
+		{Addr: a("23.153.8.71"), HasSource: false},
+		{Addr: a("64:ff9b::1709:847"), Source: a("2607:fb90:9bda:a425::50"), HasSource: true},
+	}
+	out := s.SortDestinations(ds)
+	if !out[0].HasSource {
+		t.Errorf("NAT64 destination not preferred: %+v", out)
+	}
+}
+
+func TestSortDestinationsULAVsGUA(t *testing.T) {
+	// Destination has both a ULA and a GUA AAAA; host has both kinds of
+	// source. Label matching (rule 5) puts the ULA pair together and the
+	// GUA pair together; precedence (rule 6) then decides: GUA (40) beats
+	// ULA (3).
+	s := NewSelector()
+	ds := []Destination{
+		{Addr: a("fd00:976a::9"), Source: a("fd00:976a::100"), HasSource: true},
+		{Addr: a("2607:fb90:1::9"), Source: a("2607:fb90:9bda:a425::100"), HasSource: true},
+	}
+	out := s.SortDestinations(ds)
+	if out[0].Addr != a("2607:fb90:1::9") {
+		t.Errorf("GUA destination should beat ULA: %+v", out[0].Addr)
+	}
+}
+
+func TestSortDestinationsStableForTies(t *testing.T) {
+	s := NewSelector()
+	ds := []Destination{
+		{Addr: a("2001:db8::1"), Source: a("2001:db8::100"), HasSource: true},
+		{Addr: a("2001:db8::2"), Source: a("2001:db8::100"), HasSource: true},
+	}
+	out := s.SortDestinations(ds)
+	if out[0].Addr != a("2001:db8::1") || out[1].Addr != a("2001:db8::2") {
+		t.Errorf("tie order not preserved: %v", out)
+	}
+}
+
+// Property: SortDestinations is a permutation and total (never panics,
+// preserves multiset).
+func TestSortDestinationsPermutationProperty(t *testing.T) {
+	s := NewSelector()
+	f := func(raw [][16]byte, hasSrcBits uint8) bool {
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		var ds []Destination
+		for i, r := range raw {
+			d := Destination{Addr: netip.AddrFrom16(r)}
+			if hasSrcBits&(1<<i) != 0 {
+				d.Source = a("2001:db8::100")
+				d.HasSource = true
+			}
+			ds = append(ds, d)
+		}
+		out := s.SortDestinations(ds)
+		if len(out) != len(ds) {
+			return false
+		}
+		count := map[netip.Addr]int{}
+		for _, d := range ds {
+			count[d.Addr]++
+		}
+		for _, d := range out {
+			count[d.Addr]--
+		}
+		for _, v := range count {
+			if v != 0 {
+				return false
+			}
+		}
+		// All usable destinations must precede all unusable ones.
+		seenUnusable := false
+		for _, d := range out {
+			if !d.HasSource {
+				seenUnusable = true
+			} else if seenUnusable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CommonPrefixLen is symmetric and bounded by 64.
+func TestCommonPrefixLenProperty(t *testing.T) {
+	f := func(x, y [16]byte) bool {
+		ax, ay := netip.AddrFrom16(x), netip.AddrFrom16(y)
+		l1, l2 := CommonPrefixLen(ax, ay), CommonPrefixLen(ay, ax)
+		return l1 == l2 && l1 >= 0 && l1 <= 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

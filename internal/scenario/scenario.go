@@ -1,0 +1,225 @@
+// Package scenario generates synthetic conference-floor device
+// populations (the SC23v6/SC24v6 wireless network in miniature) and
+// runs them against a testbed configuration. It produces the client
+// counting numbers behind the paper's §III.A motivation: how accurate
+// is the "IPv6-only client count" with and without the IPv4 DNS
+// intervention, and how IPv4-literal applications (Fig. 2's Echolink
+// station) pollute the statistic either way.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/hoststack"
+	"repro/internal/httpsim"
+	"repro/internal/metrics"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+	"repro/internal/testbed"
+)
+
+// DeviceSpec is one attendee device.
+type DeviceSpec struct {
+	Name    string
+	Profile hoststack.Behavior
+	// EcholinkOnly devices join solely for an IPv4-literal service
+	// (the paper's Fig. 2 amateur-radio laptop); they never browse.
+	EcholinkOnly bool
+}
+
+// MixEntry weights one profile in the population.
+type MixEntry struct {
+	Profile      hoststack.Behavior
+	Weight       int
+	EcholinkOnly bool
+}
+
+// DefaultMix approximates an SC show-floor population: mostly modern
+// RFC 8925-capable phones and laptops, a tail of legacy devices, and a
+// couple of IPv4-literal specialists.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Profile: profiles.IOS(), Weight: 20},
+		{Profile: profiles.Android(), Weight: 15},
+		{Profile: profiles.MacOS(), Weight: 15},
+		{Profile: profiles.Windows10(), Weight: 25},
+		{Profile: profiles.Windows11(), Weight: 10},
+		{Profile: profiles.Linux(), Weight: 6},
+		{Profile: profiles.NintendoSwitch(), Weight: 4},
+		{Profile: profiles.WindowsXP(), Weight: 2},
+		{Profile: profiles.Windows10(), Weight: 3, EcholinkOnly: true},
+	}
+}
+
+// Population draws n devices from the mix, deterministically for a seed.
+func Population(seed int64, n int, mix []MixEntry) []DeviceSpec {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	out := make([]DeviceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		pick := rng.Intn(total)
+		for _, m := range mix {
+			if pick < m.Weight {
+				name := fmt.Sprintf("dev%03d-%s", i, shortName(m.Profile.Name))
+				out = append(out, DeviceSpec{Name: name, Profile: m.Profile, EcholinkOnly: m.EcholinkOnly})
+				break
+			}
+			pick -= m.Weight
+		}
+	}
+	return out
+}
+
+func shortName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+32)
+		}
+	}
+	return string(out)
+}
+
+// DeviceResult records one device's experience.
+type DeviceResult struct {
+	Spec     DeviceSpec
+	Class    metrics.Class
+	Informed bool // landed on the intervention page
+	Internet bool // reached real content
+	UsedIPv6 bool // the successful path was IPv6
+}
+
+// Report aggregates a scenario run.
+type Report struct {
+	Devices []DeviceResult
+
+	// Joined is the population size; Informed counts devices that hit the
+	// intervention; InternetOK counts devices with working access.
+	Joined     int
+	Informed   int
+	InternetOK int
+
+	// ReportedSSIDClients models the venue statistic: informed devices
+	// leave the SSID, everyone else stays and is counted.
+	ReportedSSIDClients int
+	// TrueIPv6Only counts remaining devices whose data traffic was
+	// exclusively IPv6.
+	TrueIPv6Only int
+	// Overcount = reported - true: the inaccuracy the paper wants to
+	// drive to zero (IPv4-literal users keep it nonzero even at SC24).
+	Overcount int
+
+	// NAT44LogEntries counts the M-21-31-mandated translation log lines
+	// the gateway accumulated — the compliance burden the paper cites as
+	// a reason Argonne avoids NAT on internet-accessible networks.
+	NAT44LogEntries int
+	// NAT64Sessions is the live NAT64 binding count after the run.
+	NAT64Sessions int
+}
+
+// Run executes the workload for each device on a fresh client attached
+// to tb and returns the aggregate report.
+func Run(tb *testbed.Testbed, devices []DeviceSpec) *Report {
+	mon := metrics.NewSSIDMonitor()
+	mon.Exclude(tb.Gateway.LANNIC().MAC())
+	mon.Exclude(tb.HealthyPi.MAC())
+	mon.Exclude(tb.PoisonPi.MAC())
+	mon.Exclude(tb.DHCPPi.MAC())
+	tb.Switch.AddFilter(mon.Filter())
+
+	rep := &Report{Joined: len(devices)}
+	for _, spec := range devices {
+		c := tb.AddClient(spec.Name, spec.Profile)
+		dr := DeviceResult{Spec: spec}
+		if spec.EcholinkOnly {
+			resp, err := c.Query(testbed.EcholinkV4, testbed.EcholinkPort, []byte("cq"), time.Second)
+			dr.Internet = err == nil && len(resp) > 0
+		} else {
+			r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+			switch {
+			case err != nil:
+				// no connectivity at all
+			case strings.Contains(string(r.Response.Body), portal.IP6MeBody):
+				dr.Informed = true
+			default:
+				dr.Internet = true
+				dr.UsedIPv6 = r.UsedAddr.Is6()
+			}
+		}
+		dr.Class = mon.ClassOf(c.MAC())
+		if dr.Internet {
+			rep.InternetOK++
+		}
+		if dr.Informed {
+			rep.Informed++
+		}
+		rep.Devices = append(rep.Devices, dr)
+	}
+
+	for _, dr := range rep.Devices {
+		if dr.Informed {
+			continue // informed devices leave the SSID
+		}
+		rep.ReportedSSIDClients++
+		if dr.Class == metrics.ClassV6Only {
+			rep.TrueIPv6Only++
+		}
+	}
+	rep.Overcount = rep.ReportedSSIDClients - rep.TrueIPv6Only
+	rep.NAT44LogEntries = len(tb.Gateway.NAT44.Log)
+	rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
+	return rep
+}
+
+// AdoptionMix returns DefaultMix with the given fraction (0..1) of the
+// Windows population already refreshed to Windows 11 with RFC 8925 —
+// the paper §VII "Windows 10 end-of-life as a catalyst" projection. The
+// unrefreshed population keeps DefaultMix's 25:10 split of Windows 10
+// (RDNSS-preferring) and Windows 11 builds that prefer the poisoned
+// DHCPv4 resolver.
+func AdoptionMix(refreshed float64) []MixEntry {
+	if refreshed < 0 {
+		refreshed = 0
+	}
+	if refreshed > 1 {
+		refreshed = 1
+	}
+	const win10Weight, win11Weight = 25, 10
+	newWin := int(refreshed*(win10Weight+win11Weight) + 0.5)
+	// Refresh the Windows 11 (v4-DNS-preferring) builds first, then the
+	// Windows 10 fleet.
+	old11 := win11Weight - newWin
+	old10 := win10Weight
+	if old11 < 0 {
+		old10 += old11 // spill the refresh into the Win10 pool
+		old11 = 0
+	}
+	mix := []MixEntry{
+		{Profile: profiles.IOS(), Weight: 20},
+		{Profile: profiles.Android(), Weight: 15},
+		{Profile: profiles.MacOS(), Weight: 15},
+		{Profile: profiles.Linux(), Weight: 6},
+		{Profile: profiles.NintendoSwitch(), Weight: 4},
+		{Profile: profiles.WindowsXP(), Weight: 2},
+		{Profile: profiles.Windows10(), Weight: 3, EcholinkOnly: true},
+	}
+	if old10 > 0 {
+		mix = append(mix, MixEntry{Profile: profiles.Windows10(), Weight: old10})
+	}
+	if old11 > 0 {
+		mix = append(mix, MixEntry{Profile: profiles.Windows11(), Weight: old11})
+	}
+	if newWin > 0 {
+		mix = append(mix, MixEntry{Profile: profiles.Windows11RFC8925(), Weight: newWin})
+	}
+	return mix
+}

@@ -1,0 +1,110 @@
+package testbed
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dns64"
+	"repro/internal/ndp"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/profiles"
+)
+
+// sendPREF64RA floods one RFC 8781 RA through the access switch.
+func sendPREF64RA(tb *Testbed, pref netip.Prefix) {
+	mac := tb.Net.AllocMAC()
+	src := ndp.LinkLocal(mac)
+	ra := &ndp.RouterAdvert{
+		RouterLifetime: 30 * time.Minute,
+		SourceLinkAddr: mac, HasSourceLink: true,
+		PREF64: pref, PREF64Lifetime: 30 * time.Minute,
+	}
+	body := (&packet.ICMP{Type: packet.ICMPv6RouterAdvert, Body: ra.Marshal()}).MarshalV6(src, ndp.AllNodes)
+	p := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: src, Dst: ndp.AllNodes, Payload: body}
+	tb.Switch.InjectAll(netsim.Frame{
+		Src: mac, Dst: netsim.MAC(packet.MulticastMAC(ndp.AllNodes)),
+		EtherType: netsim.EtherTypeIPv6, Payload: p.Marshal(),
+	})
+}
+
+// NAT64 prefix discovery: RFC 7050 (ipv4only.arpa) against the testbed's
+// healthy DNS64, and RFC 8781 (PREF64 in RAs) as the modern alternative.
+
+func TestRFC7050PrefixDiscovery(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("phone", profiles.Android())
+
+	if c.NAT64Prefix().IsValid() {
+		t.Fatal("prefix already set before discovery (no PREF64 on this gateway)")
+	}
+	p, err := c.DiscoverNAT64Prefix()
+	if err != nil {
+		t.Fatalf("discovery: %v", err)
+	}
+	if p != dns64.WellKnownPrefix {
+		t.Errorf("discovered %v, want %v", p, dns64.WellKnownPrefix)
+	}
+	// Idempotent: a second call short-circuits to the cached value.
+	p2, err := c.DiscoverNAT64Prefix()
+	if err != nil || p2 != p {
+		t.Errorf("second discovery = %v/%v", p2, err)
+	}
+}
+
+func TestRFC7050ThroughPoisonedResolver(t *testing.T) {
+	// Even a client on the poisoned IPv4 resolver discovers the prefix:
+	// AAAA queries pass through to the healthy DNS64 (and the poisoned A
+	// for ipv4only.arpa is irrelevant to discovery).
+	tb := New(DefaultOptions())
+	c := tb.AddClient("win11", profiles.Windows11())
+	p, err := c.DiscoverNAT64Prefix()
+	if err != nil {
+		t.Fatalf("discovery: %v", err)
+	}
+	if p != dns64.WellKnownPrefix {
+		t.Errorf("discovered %v", p)
+	}
+}
+
+func TestRFC7050WorksOverV4TransportToo(t *testing.T) {
+	// Even an IPv4-only transport reaches the DNS64's synthesized answer
+	// (the same pass-through that keeps Windows XP working in Fig. 7).
+	tb := New(DefaultOptions())
+	c := tb.AddClient("console", profiles.NintendoSwitch())
+	if p, err := c.DiscoverNAT64Prefix(); err != nil || p != dns64.WellKnownPrefix {
+		t.Errorf("discovery over v4 transport = %v/%v", p, err)
+	}
+}
+
+func TestRFC7050FailsWithoutDNS64(t *testing.T) {
+	// Against a plain (non-DNS64) resolver — the gateway's carrier DNS
+	// proxy — ipv4only.arpa has no AAAA and discovery must fail cleanly.
+	tb := New(DefaultOptions())
+	c := tb.AddClient("console", profiles.NintendoSwitch())
+	c.DNSOverride = []netip.Addr{GatewayLANv4}
+	if p, err := c.DiscoverNAT64Prefix(); err == nil {
+		t.Errorf("plain resolver yielded a NAT64 prefix: %v", p)
+	}
+}
+
+func TestPREF64FromRAOverridesDiscovery(t *testing.T) {
+	// A custom gateway advertising PREF64 (RFC 8781): the client learns
+	// the prefix passively and CLAT uses it without any DNS probe.
+	tb := New(DefaultOptions())
+	c := tb.AddClient("phone", profiles.IOS())
+
+	// Inject a PREF64-bearing RA from the gateway's link-local.
+	pref := netip.MustParsePrefix("64:ff9b::/96")
+	sendPREF64RA(tb, pref)
+	tb.Net.RunFor(time.Second)
+
+	if c.NAT64Prefix() != pref {
+		t.Fatalf("PREF64 not learned: %v", c.NAT64Prefix())
+	}
+	p, err := c.DiscoverNAT64Prefix()
+	if err != nil || p != pref {
+		t.Errorf("discovery after PREF64 = %v/%v", p, err)
+	}
+}

@@ -1,0 +1,131 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/hoststack"
+	"repro/internal/profiles"
+)
+
+// Failure injection: what breaks when each Raspberry Pi dies, and what
+// the §VII rollback can and cannot recover.
+
+func TestPoisonedServerOutage(t *testing.T) {
+	tb := New(DefaultOptions())
+	xp := tb.AddClient("xp", profiles.WindowsXP())
+	win10 := tb.AddClient("win10", profiles.Windows10())
+
+	// Sanity: both work beforehand.
+	if _, err := xp.Lookup("sc24.supercomputing.org"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The poisoned Pi's DNS service dies.
+	tb.PoisonPi.UnbindUDP(53)
+
+	// XP's only resolver was the poisoned server: it is now dark.
+	if _, err := xp.Lookup("ip6.me"); err == nil {
+		t.Error("XP lookup survived the poisoned server outage")
+	}
+	// Windows 10 never used it: unaffected.
+	if _, err := win10.Lookup("ip6.me"); err != nil {
+		t.Errorf("RDNSS client affected by poisoned-server outage: %v", err)
+	}
+}
+
+func TestHealthyDNS64Outage(t *testing.T) {
+	tb := New(DefaultOptions())
+	mac := tb.AddClient("mac", profiles.MacOS())
+	console := tb.AddClient("console", profiles.NintendoSwitch())
+
+	// The healthy Pi dies entirely.
+	tb.HealthyPi.UnbindUDP(53)
+
+	// RFC 8925 clients lose DNS (both RDNSS addresses live on that Pi).
+	if _, err := mac.Lookup("sc24.supercomputing.org"); err == nil {
+		t.Error("RDNSS lookup survived the healthy-Pi outage")
+	}
+	// The IPv4-only client's poisoned A answers need no upstream: the
+	// intervention still works (wildcard answers locally).
+	res, err := console.Lookup("sc24.supercomputing.org")
+	if err != nil {
+		t.Fatalf("wildcard poisoning should not depend on the upstream: %v", err)
+	}
+	if best, _ := res.BestAddr(); best != IP6MeV4 {
+		t.Errorf("poisoned answer = %v", best)
+	}
+}
+
+func TestDHCPServerOutageLeavesV4ClientsUnconfigured(t *testing.T) {
+	tb := New(DefaultOptions())
+	tb.DHCPPi.UnbindUDP(67)
+
+	c := hoststack.New(tb.Net, "late-console", profiles.NintendoSwitch())
+	tb.Switch.AttachPort(c.NIC)
+	c.Start()
+	tb.Net.RunFor(2 * time.Second)
+
+	// The gateway's DHCP is snooped away and the Pi is dead: no lease.
+	if c.IPv4Addr().IsValid() {
+		t.Errorf("client got %v with every DHCP server unavailable", c.IPv4Addr())
+	}
+	// An RFC 8925-class client still comes up IPv6-only via SLAAC.
+	c6 := hoststack.New(tb.Net, "late-phone", profiles.IOS())
+	tb.Switch.AttachPort(c6.NIC)
+	c6.Start()
+	tb.Net.RunFor(2 * time.Second)
+	if len(c6.IPv6GlobalAddrs()) == 0 {
+		t.Error("SLAAC should not depend on DHCPv4")
+	}
+}
+
+func TestTCPLargeTransferIntegrity(t *testing.T) {
+	// End-to-end data integrity across segmentation, the constrained-MTU
+	// hop and PMTUD retransmission: a pseudorandom 16 KiB body must
+	// arrive byte-identical.
+	tb := New(DefaultOptions())
+	c := tb.AddClient("linux", profiles.Linux())
+
+	payload := make([]byte, 16*1024)
+	x := uint32(0x5c24)
+	for i := range payload {
+		x = x*1664525 + 1013904223
+		payload[i] = byte(x >> 24)
+	}
+	tb.Internet.Host.ListenTCP(9999, func(conn *hoststack.TCPConn) {
+		conn.OnData = func(cc *hoststack.TCPConn) {
+			if len(cc.Peek()) > 0 {
+				cc.Recv()
+				_ = cc.Send(payload)
+				_ = cc.Close()
+			}
+		}
+	})
+
+	res, err := c.Lookup("ip6.me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := res.BestAddr()
+	conn, err := c.DialTCP(dst, 9999, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	ok := tb.Net.RunUntil(func() bool {
+		got = append(got, conn.Recv()...)
+		return conn.RemoteClosed() && len(got) >= len(payload)
+	}, 10*time.Second)
+	got = append(got, conn.Recv()...)
+	if !ok {
+		t.Fatalf("transfer stalled at %d/%d bytes", len(got), len(payload))
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("corruption: got %d bytes, equal=false", len(got))
+	}
+}

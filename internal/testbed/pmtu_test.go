@@ -1,0 +1,104 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hoststack"
+	"repro/internal/httpsim"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+)
+
+// The 5G link's 1480-byte MTU forces path MTU discovery for the mirror's
+// large-body probe — the behaviour the real test-ipv6 "large packet"
+// subtest exists to verify.
+
+func TestMTUProbeSucceedsViaPMTUD(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("linux", profiles.Linux())
+
+	r, err := httpsim.Browse(c, "http://mtu6.test-ipv6.com/mtu/")
+	if err != nil {
+		t.Fatalf("mtu probe: %v", err)
+	}
+	if len(r.Response.Body) < portal.MTUProbeSize {
+		t.Fatalf("body = %d bytes, want >= %d", len(r.Response.Body), portal.MTUProbeSize)
+	}
+	if tb.Gateway.PTBSent == 0 {
+		t.Error("transfer completed without any Packet Too Big — MTU limit not exercised")
+	}
+	// The server learned the constrained path MTU toward the client.
+	var clientGUA bool
+	for _, a := range c.IPv6GlobalAddrs() {
+		if GUAPrefixA.Contains(a) && tb.Internet.Host.PathMTU(a) == 1480 {
+			clientGUA = true
+		}
+	}
+	if !clientGUA {
+		t.Error("internet host did not cache the 1480 path MTU")
+	}
+}
+
+func TestMTUSubtestPassesInFullRun(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("mac", profiles.MacOS())
+	res := portal.Run(func(url string) (*httpsim.Response, error) {
+		fr, err := httpsim.Browse(c, url)
+		if err != nil {
+			return nil, err
+		}
+		return fr.Response, nil
+	}, tb.Mirror)
+	for _, sub := range res.Subs {
+		if sub.Name == "v6-mtu" {
+			if !sub.Fetched || sub.Family != "IPv6" {
+				t.Errorf("v6-mtu = %+v", sub)
+			}
+		}
+	}
+	if s := portal.ScoreFixed(res); s.Points != 10 {
+		t.Errorf("fixed score with MTU probe = %v", s)
+	}
+}
+
+func TestUploadDirectionPMTUD(t *testing.T) {
+	// Client-side large sends must also discover the path MTU (POST-like
+	// traffic). Exercise via a raw TCP sink on the internet host that
+	// acknowledges by closing once the full upload arrived.
+	tb := New(DefaultOptions())
+	c := tb.AddClient("linux", profiles.Linux())
+
+	const uploadSize = 4000
+	var got int
+	tb.Internet.Host.ListenTCP(7777, func(conn *hoststack.TCPConn) {
+		conn.OnData = func(cc *hoststack.TCPConn) {
+			got += len(cc.Recv())
+			if got >= uploadSize {
+				_ = cc.Close()
+			}
+		}
+	})
+
+	res, err := c.Lookup("ip6.me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := res.BestAddr()
+	conn, err := c.DialTCP(dst, 7777, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(make([]byte, uploadSize)); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Net.RunUntil(func() bool { return conn.RemoteClosed() }, 5*time.Second) {
+		t.Fatalf("upload stalled: server got %d/%d bytes", got, uploadSize)
+	}
+	if got != uploadSize {
+		t.Errorf("server received %d bytes, want %d", got, uploadSize)
+	}
+	if c.PathMTU(dst) != 1480 {
+		t.Errorf("client PMTU = %d, want 1480", c.PathMTU(dst))
+	}
+}

@@ -1,0 +1,66 @@
+package testbed
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dns64"
+	"repro/internal/dnswire"
+	"repro/internal/profiles"
+)
+
+// End-to-end RFC 6147 §5.3: reverse-resolving a NAT64-synthesized
+// address through the testbed's healthy DNS64 yields the real site name
+// (what a traceroute or log pipeline would display).
+
+func TestReversePTRThroughDNS64(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("linux", profiles.Linux())
+
+	synth := netip.MustParseAddr("64:ff9b::be5c:9e04") // sc24.supercomputing.org via NAT64
+	resp, err := c.QueryDNS(HealthyV6, dns64.ReverseName(synth), dnswire.TypePTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cname, ptr string
+	for _, rr := range resp.Answers {
+		switch rr.Type {
+		case dnswire.TypeCNAME:
+			cname = rr.Target
+		case dnswire.TypePTR:
+			ptr = rr.Target
+		}
+	}
+	if cname != "4.158.92.190.in-addr.arpa." {
+		t.Errorf("synthesized CNAME = %q", cname)
+	}
+	if ptr != "sc24.supercomputing.org." {
+		t.Errorf("PTR = %q", ptr)
+	}
+}
+
+func TestReversePTRForNativeV4(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("win10", profiles.Windows10())
+
+	resp, err := c.QueryDNS(HealthyV6, dns64.ReverseName(IP6MeV4), dnswire.TypePTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Target != "ip6.me." {
+		t.Errorf("answers = %+v", resp.Answers)
+	}
+}
+
+func TestReversePTRUnknownAddressNXDomain(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("win10", profiles.Windows10())
+
+	resp, err := c.QueryDNS(HealthyV6, dns64.ReverseName(netip.MustParseAddr("198.18.255.254")), dnswire.TypePTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("rcode = %s", dnswire.RcodeString(resp.Rcode))
+	}
+}

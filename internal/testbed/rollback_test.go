@@ -1,0 +1,90 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/httpsim"
+	"repro/internal/profiles"
+)
+
+// The paper §VII plans "an Ansible playbook to remove the IPv4 DNS
+// interventions should major issues be reported". These tests exercise
+// the equivalent runtime rollback.
+
+func TestRollbackRestoresIPv4Clients(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("console", profiles.NintendoSwitch())
+
+	r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(r.Response.Body), "lack of IPv6 support") {
+		t.Fatalf("intervention not active before rollback")
+	}
+
+	tb.RollBackIntervention()
+	r, err = httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(r.Response.Body), "SC24") {
+		t.Errorf("rollback did not restore IPv4 access: %q", r.Response.Body)
+	}
+	if !r.UsedAddr.Is4() {
+		t.Errorf("post-rollback access used %v", r.UsedAddr)
+	}
+
+	tb.ReinstateIntervention()
+	r, err = httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(r.Response.Body), "lack of IPv6 support") {
+		t.Error("reinstatement did not restore the intervention")
+	}
+}
+
+func TestRollbackInvisibleToRFC8925Clients(t *testing.T) {
+	tb := New(DefaultOptions())
+	c := tb.AddClient("phone", profiles.Android())
+
+	before, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.RollBackIntervention()
+	after, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.UsedAddr != after.UsedAddr {
+		t.Errorf("RFC 8925 client path changed across rollback: %v -> %v", before.UsedAddr, after.UsedAddr)
+	}
+}
+
+func TestReinstateOnRPZPolicy(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Poison = PoisonRPZ
+	tb := New(opt)
+	c := tb.AddClient("console", profiles.NintendoSwitch())
+
+	tb.RollBackIntervention()
+	r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil || !strings.Contains(string(r.Response.Body), "SC24") {
+		t.Fatalf("rollback under RPZ failed: %v %q", err, bodyOf(r))
+	}
+	tb.ReinstateIntervention()
+	r, err = httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	if err != nil || !strings.Contains(string(r.Response.Body), "lack of IPv6 support") {
+		t.Fatalf("reinstate under RPZ failed: %v %q", err, bodyOf(r))
+	}
+}
+
+func bodyOf(r *httpsim.FetchResult) string {
+	if r == nil || r.Response == nil {
+		return ""
+	}
+	return string(r.Response.Body)
+}

@@ -1,0 +1,386 @@
+// Package testbed assembles the paper's Fig. 4 topology: the 5G mobile
+// internet gateway, the managed switch with its two interventions, the
+// Raspberry Pi servers (healthy DNS64, poisoned IPv4 DNS, DHCPv4 with
+// option 108) and the public internet endpoints (ip6.me, the
+// test-ipv6.com mirror, IPv4-only sites, the Echolink-style UDP
+// service). Every knob the paper varies is an Option so experiments can
+// flip interventions on and off.
+package testbed
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dhcp4"
+	"repro/internal/dns"
+	"repro/internal/dns64"
+	"repro/internal/dnspoison"
+	"repro/internal/dnswire"
+	"repro/internal/gateway5g"
+	"repro/internal/hoststack"
+	"repro/internal/httpsim"
+	"repro/internal/inet"
+	"repro/internal/mgmtswitch"
+	"repro/internal/netsim"
+	"repro/internal/portal"
+	"repro/internal/vpn"
+)
+
+// Well-known testbed addresses (paper §IV-V).
+var (
+	LANPrefix    = netip.MustParsePrefix("192.168.12.0/24")
+	GatewayLANv4 = netip.MustParseAddr("192.168.12.1")
+	// GatewayWANv4 is the NAT64 egress; GatewayNAT44v4 the legacy NAT44
+	// egress (distinct, so the mirror can recognize translated clients).
+	GatewayWANv4   = netip.MustParseAddr("203.0.113.1")
+	GatewayNAT44v4 = netip.MustParseAddr("203.0.113.2")
+
+	ULAPrefix  = netip.MustParsePrefix("fd00:976a::/64")
+	HealthyV6  = netip.MustParseAddr("fd00:976a::9")
+	HealthyV6B = netip.MustParseAddr("fd00:976a::10")
+	HealthyV4  = netip.MustParseAddr("192.168.12.251")
+	PoisonV4   = netip.MustParseAddr("192.168.12.253")
+	DHCPPiV4   = netip.MustParseAddr("192.168.12.250")
+
+	GUAPrefixA = netip.MustParsePrefix("2607:fb90:9bda:a425::/64")
+	GUAPrefixB = netip.MustParsePrefix("2607:fb90:c1d2:e3f4::/64")
+
+	IP6MeV4 = netip.MustParseAddr("23.153.8.71")
+	IP6MeV6 = netip.MustParseAddr("2001:4810:0:3::71")
+
+	MirrorV4     = netip.MustParseAddr("216.218.228.119")
+	MirrorV6     = netip.MustParseAddr("2001:470:1:18::119")
+	MirrorV4Only = netip.MustParseAddr("216.218.228.120")
+	MirrorV6Only = netip.MustParseAddr("2001:470:1:18::120")
+
+	SC24V4     = netip.MustParseAddr("190.92.158.4")
+	VPNGwV4    = netip.MustParseAddr("130.202.228.253")
+	VTCV4      = netip.MustParseAddr("198.51.100.40")
+	EcholinkV4 = netip.MustParseAddr("208.67.222.222")
+)
+
+// EcholinkPort is the UDP port of the IPv4-literal service (Fig. 2).
+const EcholinkPort uint16 = 5198
+
+// PoisonPolicy selects the IPv4 DNS intervention flavour.
+type PoisonPolicy int
+
+// Poisoning policies.
+const (
+	PoisonOff PoisonPolicy = iota
+	PoisonWildcard
+	PoisonRPZ
+)
+
+// Options are the experiment knobs.
+type Options struct {
+	// Poison selects the IPv4 DNS intervention (default wildcard).
+	Poison PoisonPolicy
+	// RedirectV4 is the poisoned A answer (default ip6.me per the final
+	// deployment; Fig. 5 used the mirror's own address first).
+	RedirectV4 netip.Addr
+	// Option108 enables RFC 8925 on the Raspberry Pi DHCP server.
+	Option108 bool
+	// SnoopDHCP blocks the gateway's built-in DHCPv4 server.
+	SnoopDHCP bool
+	// SwitchULARA enables the managed switch's low-priority ULA RA.
+	SwitchULARA bool
+	// RestrictIPv4 drops all NAT44 internet traffic (the ACL the paper's
+	// §VI warns about — Fig. 8's split-tunnel breakage).
+	RestrictIPv4 bool
+}
+
+// DefaultOptions returns the SC24v6 deployment configuration.
+func DefaultOptions() Options {
+	return Options{
+		Poison:      PoisonWildcard,
+		RedirectV4:  IP6MeV4,
+		Option108:   true,
+		SnoopDHCP:   true,
+		SwitchULARA: true,
+	}
+}
+
+// Testbed is the assembled Fig. 4 topology.
+type Testbed struct {
+	Opt Options
+	Net *netsim.Network
+
+	Internet *inet.Internet
+	Gateway  *gateway5g.Gateway
+	Switch   *mgmtswitch.Switch
+
+	HealthyPi  *hoststack.Host
+	PoisonPi   *hoststack.Host
+	DHCPPi     *hoststack.Host
+	DHCPServer *dhcp4.Server
+
+	Healthy64 *dns64.Resolver
+	// Wildcard / RPZ is non-nil per Options.Poison.
+	Wildcard *dnspoison.Wildcard
+	RPZ      *dnspoison.RPZ
+
+	Mirror portal.MirrorConfig
+
+	// HealthyLog records every query reaching the healthy DNS64;
+	// PoisonLog records queries hitting the poisoned server. The Fig. 10
+	// experiment proves resolver selection with these.
+	HealthyLog *dns.QueryLog
+	PoisonLog  *dns.QueryLog
+
+	poisonSwitch *switchableResolver
+
+	Clients []*hoststack.Host
+}
+
+// New assembles and starts the testbed.
+func New(opt Options) *Testbed {
+	if !opt.RedirectV4.IsValid() {
+		opt.RedirectV4 = IP6MeV4
+	}
+	tb := &Testbed{Opt: opt, Net: netsim.NewNetwork()}
+
+	// The internet and its sites.
+	tb.Internet = inet.New(tb.Net)
+	tb.Mirror = portal.MirrorConfig{
+		Name: "test-ipv6.com",
+		V4:   MirrorV4, V6: MirrorV6,
+		V4Only: MirrorV4Only, V6Only: MirrorV6Only,
+		NAT64PublicV4: GatewayWANv4,
+	}
+	mh := portal.MirrorHandler(tb.Mirror)
+	mirrorSite := tb.Internet.AddSite(tb.Mirror.Name, MirrorV4, MirrorV6, mh)
+	tb.Internet.AddSubdomain(mirrorSite, "ipv4", MirrorV4Only, netip.Addr{}, mh)
+	tb.Internet.AddSubdomain(mirrorSite, "ipv6", netip.Addr{}, MirrorV6Only, mh)
+	tb.Internet.AddSubdomain(mirrorSite, "ds", MirrorV4, MirrorV6, nil)
+	tb.Internet.AddSubdomain(mirrorSite, "mtu6", netip.Addr{}, MirrorV6Only, nil)
+	tb.Internet.AddSubdomain(mirrorSite, "ns6", netip.Addr{}, MirrorV6Only, nil)
+
+	// RFC 7050: the well-known ipv4only.arpa records let CLAT clients
+	// discover the NAT64 prefix from the DNS64's synthesized answer.
+	arpaSite := tb.Internet.AddSite("ipv4only.arpa", netip.MustParseAddr("192.0.0.170"), netip.Addr{}, nil)
+	arpaSite.Zone.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: netip.MustParseAddr("192.0.0.171")})
+
+	tb.Internet.AddSite("ip6.me", IP6MeV4, IP6MeV6, portal.IP6MeHandler())
+	tb.Internet.AddSite("sc24.supercomputing.org", SC24V4, netip.Addr{},
+		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+			return &httpsim.Response{Status: 200, Body: []byte("SC24 | The International Conference for HPC\n")}
+		}))
+	tb.Internet.AddSite("vpn.anl.gov", VPNGwV4, netip.Addr{},
+		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+			return &httpsim.Response{Status: 200, Body: []byte("Argonne VPN gateway\n")}
+		}))
+	tb.Internet.AddSite("vtc.example.com", VTCV4, netip.Addr{},
+		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+			return &httpsim.Response{Status: 200, Body: []byte("VTC provider (IPv4-only)\n")}
+		}))
+	tb.Internet.BindUDPService(EcholinkV4, EcholinkPort,
+		func(src netip.Addr, srcPort uint16, dst netip.Addr, payload []byte) {
+			reply := append([]byte("echolink:"), payload...)
+			_ = tb.Internet.Host.ReplyUDP(dst, src, EcholinkPort, srcPort, reply)
+		})
+
+	// The 5G gateway.
+	gw, err := gateway5g.New(tb.Net, gateway5g.Config{
+		LANv4:       GatewayLANv4,
+		LANv4Prefix: LANPrefix,
+		PoolStart:   netip.MustParseAddr("192.168.12.50"),
+		PoolEnd:     netip.MustParseAddr("192.168.12.99"),
+		GUAPrefixes: []netip.Prefix{GUAPrefixA, GUAPrefixB},
+		ULARDNSS:    []netip.Addr{HealthyV6, HealthyV6B},
+		WANv4:       GatewayWANv4,
+		WANv4NAT44:  GatewayNAT44v4,
+		CarrierDNS:  tb.Internet.Resolver(),
+		WANMTU:      1480, // the 5G link's encapsulation overhead
+	})
+	if err != nil {
+		panic("testbed: " + err.Error())
+	}
+	tb.Gateway = gw
+	tb.Internet.ConnectBehind(gw)
+
+	// The managed switch with its interventions.
+	tb.Switch = mgmtswitch.New(tb.Net, "mgmt-switch", mgmtswitch.Config{
+		ULAPrefix:    ULAPrefix,
+		AdvertiseULA: opt.SwitchULARA,
+		SnoopDHCP:    opt.SnoopDHCP,
+	})
+	gwPort := tb.Switch.AttachPort(gw.LANNIC())
+	if opt.SnoopDHCP {
+		tb.Switch.BlockDHCPFrom(gwPort)
+	}
+
+	tb.buildHealthyPi()
+	tb.buildPoisonPi()
+	tb.buildDHCPPi()
+
+	if opt.RestrictIPv4 {
+		gw.BlockNAT44()
+	}
+	gw.Start()
+	tb.Switch.Start()
+	// Let beacons and server bring-up settle.
+	tb.Net.RunFor(time.Second)
+	return tb
+}
+
+// buildHealthyPi stands up the Raspberry Pi BIND9 DNS64 server at
+// fd00:976a::9 (+::10, +192.168.12.251).
+func (tb *Testbed) buildHealthyPi() {
+	pi := hoststack.New(tb.Net, "pi-dns64", hoststack.Behavior{
+		Name: "pi-dns64", IPv6Enabled: true, IPv4Enabled: true, SupportsRDNSS: true,
+	})
+	tb.Switch.AttachPort(pi.NIC)
+	pi.AddIPv6Static(HealthyV6, ULAPrefix)
+	pi.AddIPv6Static(HealthyV6B, ULAPrefix)
+	pi.SetIPv4Static(HealthyV4, LANPrefix, GatewayLANv4)
+
+	tb.Healthy64 = dns64.New(tb.Internet.Resolver())
+	tb.HealthyLog = &dns.QueryLog{Inner: tb.Healthy64}
+	cached := dns.NewCache(tb.HealthyLog, tb.Net.Clock.Now)
+	hoststack.AttachDNSServer(pi, cached)
+	tb.HealthyPi = pi
+}
+
+// buildPoisonPi stands up the dnsmasq-style poisoned IPv4 DNS server at
+// 192.168.12.253. Its AAAA upstream is the healthy DNS64 (the paper's
+// "server=192.168.12.251" line; the hop between the two Pis is collapsed
+// in-process — see DESIGN.md).
+func (tb *Testbed) buildPoisonPi() {
+	pi := hoststack.New(tb.Net, "pi-poison", hoststack.Behavior{
+		Name: "pi-poison", IPv6Enabled: true, IPv4Enabled: true, SupportsRDNSS: true,
+	})
+	tb.Switch.AttachPort(pi.NIC)
+	pi.SetIPv4Static(PoisonV4, LANPrefix, GatewayLANv4)
+
+	var resolver dns.Resolver
+	switch tb.Opt.Poison {
+	case PoisonWildcard:
+		tb.Wildcard = dnspoison.NewWildcard(tb.Healthy64)
+		tb.Wildcard.Redirect = tb.Opt.RedirectV4
+		resolver = tb.Wildcard
+	case PoisonRPZ:
+		tb.RPZ = dnspoison.NewRPZ(tb.Healthy64)
+		tb.RPZ.Redirect = tb.Opt.RedirectV4
+		resolver = tb.RPZ
+	default:
+		// No intervention (the SC23 baseline): plain healthy DNS64.
+		resolver = tb.Healthy64
+	}
+	tb.poisonSwitch = &switchableResolver{active: resolver}
+	tb.PoisonLog = &dns.QueryLog{Inner: tb.poisonSwitch}
+	hoststack.AttachDNSServer(pi, tb.PoisonLog)
+	tb.PoisonPi = pi
+}
+
+// switchableResolver lets the intervention be rolled back at runtime.
+type switchableResolver struct {
+	active dns.Resolver
+}
+
+func (s *switchableResolver) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	return s.active.Resolve(q)
+}
+
+// RollBackIntervention implements the paper §VII contingency ("an
+// Ansible playbook to remove the IPv4 DNS interventions should major
+// issues be reported"): the poisoned server instantly becomes a plain
+// forwarder to the healthy DNS64, without any client reconfiguration.
+func (tb *Testbed) RollBackIntervention() {
+	tb.poisonSwitch.active = tb.Healthy64
+}
+
+// ReinstateIntervention restores the configured poisoning policy.
+func (tb *Testbed) ReinstateIntervention() {
+	switch {
+	case tb.Wildcard != nil:
+		tb.poisonSwitch.active = tb.Wildcard
+	case tb.RPZ != nil:
+		tb.poisonSwitch.active = tb.RPZ
+	default:
+		tb.poisonSwitch.active = tb.Healthy64
+	}
+}
+
+// buildDHCPPi stands up the Raspberry Pi DHCPv4 server with option 108.
+func (tb *Testbed) buildDHCPPi() {
+	pi := hoststack.New(tb.Net, "pi-dhcp", hoststack.Behavior{
+		Name: "pi-dhcp", IPv4Enabled: true,
+	})
+	tb.Switch.AttachPort(pi.NIC)
+	pi.SetIPv4Static(DHCPPiV4, LANPrefix, GatewayLANv4)
+
+	cfg := dhcp4.ServerConfig{
+		ServerID:   DHCPPiV4,
+		PoolStart:  netip.MustParseAddr("192.168.12.100"),
+		PoolEnd:    netip.MustParseAddr("192.168.12.199"),
+		SubnetMask: netip.MustParseAddr("255.255.255.0"),
+		Router:     GatewayLANv4,
+		DNS:        []netip.Addr{PoisonV4},
+		DomainName: "rfc8925.com",
+		LeaseTime:  time.Hour,
+	}
+	if tb.Opt.Option108 {
+		cfg.V6OnlyWait = 30 * time.Minute
+	}
+	if tb.Opt.Poison == PoisonOff {
+		// SC23 baseline: clients point at the healthy server's v4 address.
+		cfg.DNS = []netip.Addr{HealthyV4}
+	}
+	srv, err := dhcp4.NewServer(cfg, tb.Net.Clock.Now)
+	if err != nil {
+		panic("testbed: " + err.Error())
+	}
+	tb.DHCPServer = srv
+	hoststack.AttachDHCPServer(pi, srv)
+	tb.DHCPPi = pi
+}
+
+// AddClient attaches a client with the given OS behaviour and brings it
+// up (DHCP + RA processing).
+func (tb *Testbed) AddClient(name string, b hoststack.Behavior) *hoststack.Host {
+	c := hoststack.New(tb.Net, name, b)
+	tb.Switch.AttachPort(c.NIC)
+	c.Start()
+	tb.Net.RunFor(2 * time.Second)
+	tb.Clients = append(tb.Clients, c)
+	return c
+}
+
+// RestrictIPv4Internet applies the §VI ACL: the gateway stops forwarding
+// NAT44 traffic (IPv4 LAN services keep working).
+func (tb *Testbed) RestrictIPv4Internet() {
+	tb.Gateway.BlockNAT44()
+}
+
+// VPNEgressV4 is the enterprise's public IPv4 address tunneled traffic
+// egresses from.
+var VPNEgressV4 = netip.MustParseAddr("130.202.1.1")
+
+// InstallVPN stands up the vpn.anl.gov concentrator. The SC23-style
+// mirror is venue-local: tunneled traffic cannot reach back into the
+// conference network (the paper's Fig. 11 situation).
+func (tb *Testbed) InstallVPN() *vpn.Concentrator {
+	k := &vpn.Concentrator{
+		Inet:      tb.Internet,
+		GatewayV4: VPNGwV4,
+		EgressV4:  VPNEgressV4,
+		VenueLocal: map[netip.Addr]bool{
+			MirrorV4:     true,
+			MirrorV4Only: true,
+		},
+	}
+	k.Install()
+	return k
+}
+
+// NewVPNClient configures the enterprise VPN profile on a client: the
+// approved VTC platform is split-tunneled by IPv4 literal, everything
+// else rides the IPv4-only tunnel.
+func (tb *Testbed) NewVPNClient(c *hoststack.Host) *vpn.Client {
+	return &vpn.Client{
+		Host:        c,
+		GatewayV4:   VPNGwV4,
+		SplitTunnel: []netip.Prefix{netip.PrefixFrom(VTCV4, 32)},
+	}
+}

@@ -1,0 +1,106 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/portal"
+	"repro/internal/profiles"
+	"repro/internal/vpn"
+)
+
+// --- fig8: split-tunnel VTC behaviour ----------------------------------------
+
+func TestFig8SplitTunnelVTCWorksWithIPv4Internet(t *testing.T) {
+	tb := New(DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+
+	if err := vc.Connect(); err != nil {
+		t.Fatalf("vpn connect: %v", err)
+	}
+	// The approved VTC platform is reached directly by IPv4 literal.
+	resp, err := vc.Fetch("http://" + VTCV4.String() + "/")
+	if err != nil {
+		t.Fatalf("vtc: %v", err)
+	}
+	if !strings.Contains(string(resp.Body), "VTC provider") {
+		t.Errorf("vtc body = %q", resp.Body)
+	}
+	// Non-approved traffic rides the tunnel and egresses from Argonne.
+	resp, err = vc.Fetch("http://ip6.me/")
+	if err != nil {
+		t.Fatalf("tunnel fetch: %v", err)
+	}
+	if !strings.Contains(string(resp.Body), "family=IPv4") ||
+		!strings.Contains(string(resp.Body), VPNEgressV4.String()) {
+		t.Errorf("tunneled ip6.me = %q, want IPv4 from the enterprise egress", resp.Body)
+	}
+}
+
+func TestFig8RestrictingIPv4BreaksSplitTunnelVTC(t *testing.T) {
+	tb := New(DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err != nil {
+		t.Fatalf("vpn connect: %v", err)
+	}
+
+	// The §VI "tempting" ACL: block IPv4 internet at the gateway.
+	tb.RestrictIPv4Internet()
+
+	// The split-tunneled VTC literal now times out (Fig. 8).
+	if _, err := vc.Fetch("http://" + VTCV4.String() + "/"); err == nil {
+		t.Error("VTC still reachable with IPv4 internet restricted")
+	}
+	// And the tunnel itself is dead: new tunneled fetches fail too.
+	if _, err := vc.Fetch("http://ip6.me/"); err == nil {
+		t.Error("tunnel survived the IPv4 ACL")
+	}
+	if tb.Gateway.ACLDropped == 0 {
+		t.Error("ACL counted no drops")
+	}
+	// Meanwhile a non-VPN IPv6 path is unaffected.
+	if _, err := c.Lookup("sc24.supercomputing.org"); err != nil {
+		t.Errorf("IPv6 path collateral damage: %v", err)
+	}
+}
+
+// --- fig11: 0/10 over the VPN -------------------------------------------------
+
+func TestFig11VPNClientScoresZero(t *testing.T) {
+	tb := New(DefaultOptions())
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All mirror traffic rides the IPv4-only tunnel; the venue-local
+	// mirror is unreachable from the enterprise egress.
+	res := portal.Run(vc.Fetch, tb.Mirror)
+	if s := portal.ScoreBuggy(res); s.Points != 0 {
+		t.Errorf("buggy score over VPN = %v, want 0/10 (subs=%+v)", s, res.Subs)
+	}
+	if s := portal.ScoreFixed(res); s.Points != 0 {
+		t.Errorf("fixed score over VPN = %v, want 0/10", s)
+	}
+}
+
+func TestVPNConnectRequiresIPv4(t *testing.T) {
+	opt := DefaultOptions()
+	opt.RestrictIPv4 = true
+	tb := New(opt)
+	tb.InstallVPN()
+	c := tb.AddClient("laptop", profiles.Windows10())
+	vc := tb.NewVPNClient(c)
+	if err := vc.Connect(); err == nil {
+		t.Error("VPN connected despite restricted IPv4")
+	}
+	if _, err := vc.Fetch("http://ip6.me/"); err != vpn.ErrNotConnected {
+		t.Errorf("fetch error = %v, want ErrNotConnected", err)
+	}
+}

@@ -1,0 +1,125 @@
+package vpn
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/httpsim"
+	"repro/internal/inet"
+	"repro/internal/netsim"
+)
+
+func TestSplitTunnelMatching(t *testing.T) {
+	c := &Client{SplitTunnel: []netip.Prefix{
+		netip.MustParsePrefix("198.51.100.40/32"),
+		netip.MustParsePrefix("203.0.113.0/24"),
+	}}
+	cases := []struct {
+		addr string
+		want bool
+	}{
+		{"198.51.100.40", true},
+		{"198.51.100.41", false},
+		{"203.0.113.200", true},
+		{"8.8.8.8", false},
+		{"2001:db8::1", false}, // v6 never split-tunnels here
+	}
+	for _, tc := range cases {
+		if got := c.splitTunneled(netip.MustParseAddr(tc.addr)); got != tc.want {
+			t.Errorf("splitTunneled(%s) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestFetchWithoutConnect(t *testing.T) {
+	c := &Client{GatewayV4: netip.MustParseAddr("130.202.228.253")}
+	if _, err := c.Fetch("http://ip6.me/"); err != ErrNotConnected {
+		t.Errorf("err = %v, want ErrNotConnected", err)
+	}
+}
+
+func newConcentrator(t *testing.T) (*Concentrator, *inet.Internet) {
+	t.Helper()
+	net := netsim.NewNetwork()
+	cloud := inet.New(net)
+	cloud.AddSite("ip6.me", netip.MustParseAddr("23.153.8.71"), netip.Addr{},
+		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+			return &httpsim.Response{Status: 200, Body: []byte("client=" + req.ClientAddr.String())}
+		}))
+	cloud.AddSite("v6only.example", netip.Addr{}, netip.MustParseAddr("2001:db8::7"), nil)
+	cloud.AddSite("local.example", netip.MustParseAddr("216.218.228.119"), netip.Addr{}, nil)
+	k := &Concentrator{
+		Inet:       cloud,
+		GatewayV4:  netip.MustParseAddr("130.202.228.253"),
+		EgressV4:   netip.MustParseAddr("130.202.1.1"),
+		VenueLocal: map[netip.Addr]bool{netip.MustParseAddr("216.218.228.119"): true},
+	}
+	return k, cloud
+}
+
+func TestConcentratorFetchesFromEgress(t *testing.T) {
+	k, _ := newConcentrator(t)
+	raw := k.handle("FETCH http://ip6.me/")
+	resp, err := httpsim.ParseResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "client=130.202.1.1") {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if k.Fetches != 1 {
+		t.Errorf("Fetches = %d", k.Fetches)
+	}
+}
+
+func TestConcentratorIPv4OnlyResolution(t *testing.T) {
+	// A AAAA-only destination is unreachable over the IPv4-only tunnel.
+	k, _ := newConcentrator(t)
+	raw := k.handle("FETCH http://v6only.example/")
+	resp, err := httpsim.ParseResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 502 {
+		t.Errorf("status = %d, want 502 for a v6-only name over the tunnel", resp.Status)
+	}
+}
+
+func TestConcentratorRefusesVenueLocal(t *testing.T) {
+	k, _ := newConcentrator(t)
+	raw := k.handle("FETCH http://local.example/")
+	resp, err := httpsim.ParseResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 502 || !strings.Contains(string(resp.Body), "venue-local") {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if k.Refused != 1 {
+		t.Errorf("Refused = %d", k.Refused)
+	}
+}
+
+func TestConcentratorLiteralFetch(t *testing.T) {
+	k, _ := newConcentrator(t)
+	raw := k.handle("FETCH http://23.153.8.71/")
+	resp, err := httpsim.ParseResponse(raw)
+	if err != nil || resp.Status != 200 {
+		t.Errorf("literal fetch: %v %d", err, resp.Status)
+	}
+}
+
+func TestConcentratorBadCommands(t *testing.T) {
+	k, _ := newConcentrator(t)
+	for _, line := range []string{"GET http://ip6.me/", "FETCH ftp://x/", "FETCH http://nonexistent.example/"} {
+		raw := k.handle(line)
+		resp, err := httpsim.ParseResponse(raw)
+		if err != nil {
+			t.Fatalf("%q: unparseable: %v", line, err)
+		}
+		if resp.Status == 200 {
+			t.Errorf("%q accepted", line)
+		}
+	}
+}
