@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -46,6 +47,7 @@ func quiesce(tb *testbed.Testbed) {
 // BenchmarkFig2EcholinkLiteral: the IPv4-literal application exchange on
 // a dual-stack client (the SC23 count-polluting workload).
 func BenchmarkFig2EcholinkLiteral(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	c := tb.AddClient("ham", profiles.Windows10())
 	b.ResetTimer()
@@ -60,6 +62,7 @@ func BenchmarkFig2EcholinkLiteral(b *testing.B) {
 // BenchmarkFig3GatewayRA: client bring-up plus first resolution through
 // the switch-RA-rescued RDNSS path.
 func BenchmarkFig3GatewayRA(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tb := testbed.New(testbed.DefaultOptions())
 		c := tb.AddClient("probe", profiles.IPv6OnlyLinux())
@@ -72,6 +75,7 @@ func BenchmarkFig3GatewayRA(b *testing.B) {
 // BenchmarkFig4TestbedBringup: assembling the full Fig. 4 topology and
 // bringing up one client of each major class.
 func BenchmarkFig4TestbedBringup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tb := testbed.New(testbed.DefaultOptions())
 		tb.AddClient("mac", profiles.MacOS())
@@ -83,6 +87,7 @@ func BenchmarkFig4TestbedBringup(b *testing.B) {
 // BenchmarkFig5ErroneousScore: the full five-subtest mirror run plus both
 // scorings for the IPv6-disabled client behind wildcard poisoning.
 func BenchmarkFig5ErroneousScore(b *testing.B) {
+	b.ReportAllocs()
 	opt := testbed.DefaultOptions()
 	opt.RedirectV4 = testbed.MirrorV4
 	tb := testbed.New(opt)
@@ -101,6 +106,7 @@ func BenchmarkFig5ErroneousScore(b *testing.B) {
 // BenchmarkFig6SwitchIntervention: an IPv4-only device browsing into the
 // intervention page.
 func BenchmarkFig6SwitchIntervention(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	c := tb.AddClient("console", profiles.NintendoSwitch())
 	b.ResetTimer()
@@ -115,6 +121,7 @@ func BenchmarkFig6SwitchIntervention(b *testing.B) {
 // BenchmarkFig7WindowsXP: the XP path — AAAA through the poisoned
 // resolver's DNS64 forward, then a NAT64 page fetch.
 func BenchmarkFig7WindowsXP(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	xp := tb.AddClient("xp", profiles.WindowsXP())
 	b.ResetTimer()
@@ -129,6 +136,7 @@ func BenchmarkFig7WindowsXP(b *testing.B) {
 // BenchmarkFig8VPNSplitTunnel: one split-tunneled VTC fetch plus one
 // tunneled fetch.
 func BenchmarkFig8VPNSplitTunnel(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	tb.InstallVPN()
 	c := tb.AddClient("laptop", profiles.Windows10())
@@ -150,6 +158,7 @@ func BenchmarkFig8VPNSplitTunnel(b *testing.B) {
 
 // BenchmarkFig9NonexistentFQDN: the nslookup suffix-first pathology.
 func BenchmarkFig9NonexistentFQDN(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	c := tb.AddClient("win11", profiles.Windows11())
 	b.ResetTimer()
@@ -167,6 +176,7 @@ func BenchmarkFig9NonexistentFQDN(b *testing.B) {
 // BenchmarkFig10RDNSSPreference: a resolution on the RDNSS-preferring
 // profile (never touching the poisoned server).
 func BenchmarkFig10RDNSSPreference(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	c := tb.AddClient("win10", profiles.Windows10())
 	b.ResetTimer()
@@ -183,6 +193,7 @@ func BenchmarkFig10RDNSSPreference(b *testing.B) {
 
 // BenchmarkFig11VPNScore: the full mirror run over the tunnel.
 func BenchmarkFig11VPNScore(b *testing.B) {
+	b.ReportAllocs()
 	tb := testbed.New(testbed.DefaultOptions())
 	tb.InstallVPN()
 	c := tb.AddClient("laptop", profiles.Windows10())
@@ -203,6 +214,7 @@ func BenchmarkFig11VPNScore(b *testing.B) {
 // BenchmarkTableAClientMatrix: the full §V compatibility matrix (eleven
 // testbeds, one per profile).
 func BenchmarkTableAClientMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := core.Matrix(testbed.DefaultOptions())
 		if len(rows) != len(profiles.All()) {
@@ -214,6 +226,7 @@ func BenchmarkTableAClientMatrix(b *testing.B) {
 // BenchmarkTableBClientCounting: a 20-device conference floor under the
 // SC24 intervention.
 func BenchmarkTableBClientCounting(b *testing.B) {
+	b.ReportAllocs()
 	devices := scenario.Population(1, 20, scenario.DefaultMix())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -228,6 +241,7 @@ func BenchmarkTableBClientCounting(b *testing.B) {
 // wildcard vs the RPZ existence check over a 10k-name query mix (half
 // existing, half NXDOMAIN) — the §VI complexity trade.
 func BenchmarkAblationPoisonerComparison(b *testing.B) {
+	b.ReportAllocs()
 	zone := dns.NewZone("mix.example")
 	const existing = 5000
 	for i := 0; i < existing; i++ {
@@ -243,9 +257,13 @@ func BenchmarkAblationPoisonerComparison(b *testing.B) {
 		if i%2 == 1 {
 			name = "ghost-" + hostLabel(i) + ".mix.example"
 		}
-		queries = append(queries, dnswire.Question{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN})
+		// Wire-parsed questions are always canonical (readName lower-cases
+		// and dot-terminates), so the per-query cost is measured over the
+		// same names a real server loop would see.
+		queries = append(queries, dnswire.Question{Name: dnswire.CanonicalName(name), Type: dnswire.TypeA, Class: dnswire.ClassIN})
 	}
 	b.Run("wildcard", func(b *testing.B) {
+		b.ReportAllocs()
 		w := dnspoison.NewWildcard(upstream)
 		for i := 0; i < b.N; i++ {
 			if _, err := w.Resolve(queries[i%len(queries)]); err != nil {
@@ -254,6 +272,7 @@ func BenchmarkAblationPoisonerComparison(b *testing.B) {
 		}
 	})
 	b.Run("rpz", func(b *testing.B) {
+		b.ReportAllocs()
 		r := dnspoison.NewRPZ(upstream)
 		for i := 0; i < b.N; i++ {
 			if _, err := r.Resolve(queries[i%len(queries)]); err != nil {
@@ -279,6 +298,7 @@ func hostLabel(i int) string {
 // BenchmarkDHCPDORA: a full discover/offer/request/ack exchange against
 // the option-108 server (message-level).
 func BenchmarkDHCPDORA(b *testing.B) {
+	b.ReportAllocs()
 	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
 	srv, err := dhcp4.NewServer(dhcp4.ServerConfig{
 		ServerID:   netip.MustParseAddr("192.168.12.250"),
@@ -313,16 +333,19 @@ func BenchmarkDHCPDORA(b *testing.B) {
 
 // BenchmarkAblationScoringLogic: the two scorers over a fixed result set.
 func BenchmarkAblationScoringLogic(b *testing.B) {
+	b.ReportAllocs()
 	res := &portal.Results{}
 	for _, n := range portal.SubtestNames {
 		res.Subs = append(res.Subs, portal.SubResult{Name: n, Fetched: true, Family: "IPv6"})
 	}
 	b.Run("buggy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			portal.ScoreBuggy(res)
 		}
 	})
 	b.Run("fixed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			portal.ScoreFixed(res)
 		}
@@ -332,6 +355,7 @@ func BenchmarkAblationScoringLogic(b *testing.B) {
 // --- substrate microbenchmarks ---------------------------------------------
 
 func BenchmarkDNSMessageMarshalParse(b *testing.B) {
+	b.ReportAllocs()
 	msg := dnswire.NewQuery(1, "sc24.supercomputing.org", dnswire.TypeAAAA)
 	for i := 0; i < b.N; i++ {
 		wire, err := msg.Marshal()
@@ -345,6 +369,7 @@ func BenchmarkDNSMessageMarshalParse(b *testing.B) {
 }
 
 func BenchmarkDNS64Synthesis(b *testing.B) {
+	b.ReportAllocs()
 	r := dns64.New(dns.NewStatic(
 		dnswire.RR{Name: "v4only.example", Type: dnswire.TypeA, TTL: 60, Addr: netip.MustParseAddr("190.92.158.4")},
 	))
@@ -357,6 +382,7 @@ func BenchmarkDNS64Synthesis(b *testing.B) {
 }
 
 func BenchmarkNAT64UDPTranslation(b *testing.B) {
+	b.ReportAllocs()
 	now := time.Date(2024, 11, 17, 9, 0, 0, 0, time.UTC)
 	tr, err := nat64.New(nat64.Config{
 		Prefix:   dns64.WellKnownPrefix,
@@ -380,6 +406,7 @@ func BenchmarkNAT64UDPTranslation(b *testing.B) {
 }
 
 func BenchmarkIPv4Checksum(b *testing.B) {
+	b.ReportAllocs()
 	p := &packet.IPv4{Protocol: packet.ProtoUDP,
 		Src: netip.MustParseAddr("192.168.12.10"), Dst: netip.MustParseAddr("23.153.8.71"),
 		Payload: make([]byte, 512)}
@@ -389,5 +416,42 @@ func BenchmarkIPv4Checksum(b *testing.B) {
 		if _, err := packet.ParseIPv4(wire); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- scale benchmarks -------------------------------------------------------
+
+// BenchmarkScaleThousandClients is the paper-scale sweep the NAT64/DNS64
+// measurement studies (arXiv:2311.04181, arXiv:2402.14632) run against
+// real resolvers: a thousand clients brought up on the full Fig. 4
+// topology, each resolving unique names through the poisoned/DNS64
+// resolver chain. The healthy cache is capacity-bounded, so memory stays
+// capped no matter how many unique names the population floods it with.
+func BenchmarkScaleThousandClients(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		nClients       = 1000
+		namesPerClient = 4
+		cacheBound     = 4096
+	)
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.DefaultOptions())
+		tb.HealthyCache.MaxEntries = cacheBound
+		for c := 0; c < nClients; c++ {
+			tb.AddClient(fmt.Sprintf("c%d", c), profiles.Windows10())
+		}
+		for ci, c := range tb.Clients {
+			for j := 0; j < namesPerClient; j++ {
+				// Unique, mostly-nonexistent names: the worst case for an
+				// unbounded cache (one negative entry per name, forever).
+				_, _ = c.Lookup(fmt.Sprintf("h%d-%d.sc24.supercomputing.org", ci, j))
+			}
+		}
+		if got := tb.HealthyCache.Len(); got > cacheBound {
+			b.Fatalf("healthy cache exceeded its bound: %d entries > %d", got, cacheBound)
+		}
+		st := tb.Net.Stats()
+		b.ReportMetric(float64(st.FramesDelivered), "frames/op")
+		b.ReportMetric(float64(st.AllocsAvoided), "payload_allocs_avoided/op")
 	}
 }

@@ -60,6 +60,22 @@ func NXDomain() *dnswire.Message {
 	return &dnswire.Message{Response: true, Rcode: dnswire.RcodeNXDomain}
 }
 
+// SingleAnswer returns a NOERROR response carrying exactly one answer
+// record. The message and its answer storage share one allocation — the
+// poisoners fabricate one of these per A query, so the hot path matters.
+// The answer slice is at capacity, so caller appends reallocate rather
+// than touching the response's storage.
+func SingleAnswer(rr dnswire.RR) *dnswire.Message {
+	buf := &struct {
+		msg dnswire.Message
+		rr  [1]dnswire.RR
+	}{}
+	buf.rr[0] = rr
+	buf.msg.Response = true
+	buf.msg.Answers = buf.rr[:]
+	return &buf.msg
+}
+
 // Forwarder relays every question to Upstream, mirroring dnsmasq's
 // "server=..." directive. Upstream is any Resolver — typically a remote
 // server reached through a stub-resolver transport.
@@ -92,7 +108,11 @@ func NewStatic(rrs ...dnswire.RR) *Static {
 	return s
 }
 
-// Resolve answers q from the record set.
+// Resolve answers q from the record set. When every stored record for
+// the name matches the query type (the common single-type case) the
+// response aliases the stored slice at full capacity instead of copying
+// it; callers may append to the answer section (forcing a reallocation)
+// but must not mutate its elements.
 func (s *Static) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 	name := dnswire.CanonicalName(q.Name)
 	rrs, ok := s.Records[name]
@@ -100,9 +120,22 @@ func (s *Static) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 		return NXDomain(), nil
 	}
 	resp := NoError()
+	matches := 0
 	for _, rr := range rrs {
 		if rr.Type == q.Type || q.Type == dnswire.TypeANY {
-			resp.Answers = append(resp.Answers, rr)
+			matches++
+		}
+	}
+	if matches == len(rrs) {
+		resp.Answers = rrs[:len(rrs):len(rrs)]
+		return resp, nil
+	}
+	if matches > 0 {
+		resp.Answers = make([]dnswire.RR, 0, matches)
+		for _, rr := range rrs {
+			if rr.Type == q.Type || q.Type == dnswire.TypeANY {
+				resp.Answers = append(resp.Answers, rr)
+			}
 		}
 	}
 	return resp, nil

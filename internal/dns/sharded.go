@@ -1,0 +1,108 @@
+package dns
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// DefaultShards is the shard count used when NewShardedCache is given a
+// non-positive value.
+const DefaultShards = 16
+
+// ShardedCache is a concurrency-ready variant of Cache: the key space is
+// split across independently locked LRU shards, so resolver goroutines
+// serving different names rarely contend. It implements the same
+// Resolver interface, and the capacity bound is divided evenly across
+// shards (total memory stays bounded by maxEntries).
+//
+// The single-threaded simulator does not need the locking today; the
+// type exists so a future concurrent serving loop can swap it in behind
+// the same interface.
+type ShardedCache struct {
+	shards []*Cache
+	locks  []sync.Mutex
+}
+
+// NewShardedCache builds a sharded cache over inner. shards and
+// maxEntries fall back to DefaultShards and DefaultMaxEntries when
+// non-positive.
+func NewShardedCache(inner Resolver, now func() time.Time, shards, maxEntries int) *ShardedCache {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	per := maxEntries / shards
+	if per < 1 {
+		per = 1
+	}
+	s := &ShardedCache{
+		shards: make([]*Cache, shards),
+		locks:  make([]sync.Mutex, shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewCacheSize(inner, now, per)
+	}
+	return s
+}
+
+// shardFor hashes the canonical name and type with FNV-1a.
+func (s *ShardedCache) shardFor(name string, qtype uint16) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= uint64(qtype)
+	h *= prime64
+	return int(h % uint64(len(s.shards)))
+}
+
+// Resolve implements Resolver, delegating to the owning shard.
+func (s *ShardedCache) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	name := dnswire.CanonicalName(q.Name)
+	i := s.shardFor(name, q.Type)
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return s.shards[i].Resolve(dnswire.Question{Name: name, Type: q.Type, Class: q.Class})
+}
+
+// Len reports the total number of cached entries across shards.
+func (s *ShardedCache) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.locks[i].Lock()
+		n += s.shards[i].Len()
+		s.locks[i].Unlock()
+	}
+	return n
+}
+
+// Flush drops every cached entry in every shard.
+func (s *ShardedCache) Flush() {
+	for i := range s.shards {
+		s.locks[i].Lock()
+		s.shards[i].Flush()
+		s.locks[i].Unlock()
+	}
+}
+
+// Stats aggregates hit/miss/eviction counters across shards.
+func (s *ShardedCache) Stats() (hits, misses, evictions, expired uint64) {
+	for i := range s.shards {
+		s.locks[i].Lock()
+		hits += s.shards[i].Hits
+		misses += s.shards[i].Misses
+		evictions += s.shards[i].Evictions
+		expired += s.shards[i].Expired
+		s.locks[i].Unlock()
+	}
+	return
+}

@@ -18,6 +18,14 @@ type Zone struct {
 	// nonTerminals holds every ancestor of an owner name, so the
 	// NXDOMAIN-vs-NODATA decision is O(1) instead of a record scan.
 	nonTerminals map[string]bool
+	// wildcardOwners maps the suffix covered by a wildcard record
+	// ("b.c." for "*.b.c.") to its owner name, so lookup can probe
+	// candidate wildcards with substring keys instead of rebuilding each
+	// candidate name with SplitLabels+Join.
+	wildcardOwners map[string]string
+	// soaAuth caches the one-record authority section used by NXDOMAIN
+	// and NODATA responses, rebuilt if SOA.Minimum changes.
+	soaAuth []dnswire.RR
 }
 
 // NewZone creates an empty zone rooted at origin with a default SOA.
@@ -31,8 +39,9 @@ func NewZone(origin string) *Zone {
 			Serial:  2024111701,
 			Refresh: 3600, Retry: 600, Expire: 86400, Minimum: 60,
 		},
-		records:      make(map[string][]dnswire.RR),
-		nonTerminals: make(map[string]bool),
+		records:        make(map[string][]dnswire.RR),
+		nonTerminals:   make(map[string]bool),
+		wildcardOwners: make(map[string]string),
 	}
 }
 
@@ -49,6 +58,9 @@ func (z *Zone) Add(rr dnswire.RR) error {
 		rr.TTL = 300
 	}
 	z.records[name] = append(z.records[name], rr)
+	if strings.HasPrefix(name, "*.") {
+		z.wildcardOwners[name[2:]] = name
+	}
 	// Record every ancestor between the owner and the origin as an empty
 	// non-terminal candidate.
 	labels := dnswire.SplitLabels(name)
@@ -110,6 +122,17 @@ func (z *Zone) soaRR() dnswire.RR {
 	return dnswire.RR{Name: z.Origin, Type: dnswire.TypeSOA, TTL: z.SOA.Minimum, SOA: &z.SOA}
 }
 
+// soaAuthority returns the cached single-record authority section for
+// negative answers, clamped to capacity so caller appends reallocate.
+// The SOA data itself is shared by pointer (as soaRR always did); only
+// the TTL is copied, so the cache is rebuilt if SOA.Minimum changes.
+func (z *Zone) soaAuthority() []dnswire.RR {
+	if z.soaAuth == nil || z.soaAuth[0].TTL != z.SOA.Minimum {
+		z.soaAuth = []dnswire.RR{z.soaRR()}
+	}
+	return z.soaAuth[:1:1]
+}
+
 // Resolve answers a question authoritatively, chasing CNAME chains and
 // falling back to wildcard records. Nonexistent names yield NXDOMAIN
 // with the SOA in the authority section; existing names with no records
@@ -119,43 +142,61 @@ func (z *Zone) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 	resp.Authoritative = true
 
 	name := dnswire.CanonicalName(q.Name)
-	seen := make(map[string]bool)
+	// seen guards against CNAME loops; it is allocated only once a CNAME
+	// is actually followed, keeping the common single-hop path map-free.
+	var seen map[string]bool
 	for hop := 0; hop < 16; hop++ {
 		if seen[name] {
 			return nil, fmt.Errorf("dns: CNAME loop at %q", name)
 		}
-		seen[name] = true
 
-		rrs, exists := z.lookup(name)
+		rrs, exists, wild := z.lookup(name)
 		if !exists {
 			resp.Rcode = dnswire.RcodeNXDomain
-			resp.Authorities = append(resp.Authorities, z.soaRR())
+			resp.Authorities = z.soaAuthority()
 			return resp, nil
 		}
-		var cname *dnswire.RR
-		matched := false
+		matched := 0
+		cnameIdx := -1
 		for i := range rrs {
-			rr := rrs[i]
-			rr.Name = name // materialize wildcard owner names
-			if rr.Type == q.Type || q.Type == dnswire.TypeANY {
-				resp.Answers = append(resp.Answers, rr)
-				matched = true
-			} else if rr.Type == dnswire.TypeCNAME {
-				cname = &rr
+			if rrs[i].Type == q.Type || q.Type == dnswire.TypeANY {
+				matched++
+			} else if rrs[i].Type == dnswire.TypeCNAME {
+				cnameIdx = i
 			}
 		}
-		if matched || cname == nil || q.Type == dnswire.TypeCNAME {
-			if !matched {
-				resp.Authorities = append(resp.Authorities, z.soaRR())
+		if matched == len(rrs) && matched > 0 && !wild && resp.Answers == nil {
+			// Every stored record matches and owner names need no wildcard
+			// materialization: alias the stored slice at full capacity
+			// (caller appends reallocate; elements are read-only).
+			resp.Answers = rrs[:len(rrs):len(rrs)]
+			return resp, nil
+		}
+		if matched > 0 || cnameIdx < 0 || q.Type == dnswire.TypeCNAME {
+			for i := range rrs {
+				if rrs[i].Type == q.Type || q.Type == dnswire.TypeANY {
+					rr := rrs[i]
+					rr.Name = name // materialize wildcard owner names
+					resp.Answers = append(resp.Answers, rr)
+				}
+			}
+			if matched == 0 {
+				resp.Authorities = z.soaAuthority()
 			}
 			return resp, nil
 		}
 		// Follow the CNAME: emit it and continue at the target.
-		resp.Answers = append(resp.Answers, *cname)
+		cname := rrs[cnameIdx]
+		cname.Name = name
+		resp.Answers = append(resp.Answers, cname)
 		if !dnswire.IsSubdomain(cname.Target, z.Origin) {
 			// Target out of zone: the client must chase it elsewhere.
 			return resp, nil
 		}
+		if seen == nil {
+			seen = make(map[string]bool, 4)
+		}
+		seen[name] = true
 		name = cname.Target
 	}
 	return nil, fmt.Errorf("dns: CNAME chain too long for %q", q.Name)
@@ -163,25 +204,33 @@ func (z *Zone) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 
 // lookup finds records for name, trying exact match then wildcard
 // synthesis per RFC 1034 §4.3.3. exists reports whether the name (or a
-// covering wildcard) is present at all.
-func (z *Zone) lookup(name string) (rrs []dnswire.RR, exists bool) {
+// covering wildcard) is present at all; wild reports a wildcard match,
+// whose owner names must be rewritten to the query name.
+func (z *Zone) lookup(name string) (rrs []dnswire.RR, exists, wild bool) {
 	if rrs, ok := z.records[name]; ok {
-		return rrs, true
+		return rrs, true, false
 	}
 	// An empty non-terminal (a name under which records exist) is NODATA,
 	// not NXDOMAIN.
 	if z.nonTerminals[name] {
-		return nil, true
+		return nil, true, false
 	}
-	// Wildcard: replace leading labels with * progressively.
-	labels := dnswire.SplitLabels(name)
-	for i := 1; i < len(labels); i++ {
-		cand := "*." + strings.Join(labels[i:], ".") + "."
-		if rrs, ok := z.records[cand]; ok {
-			return rrs, true
+	if len(z.wildcardOwners) > 0 {
+		// Wildcard: strip leading labels progressively and probe each
+		// remaining suffix. The suffix is a substring of the canonical
+		// name, so probing allocates nothing.
+		for idx := strings.IndexByte(name, '.') + 1; idx > 0 && idx < len(name); {
+			if owner, ok := z.wildcardOwners[name[idx:]]; ok {
+				return z.records[owner], true, true
+			}
+			next := strings.IndexByte(name[idx:], '.')
+			if next < 0 {
+				break
+			}
+			idx += next + 1
 		}
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // Authority routes questions to the longest-matching of several zones

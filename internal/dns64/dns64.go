@@ -79,6 +79,9 @@ func New(inner dns.Resolver) *Resolver {
 // Resolve implements dns.Resolver with AAAA synthesis (and PTR
 // synthesis per RFC 6147 §5.3 for addresses inside the prefix).
 func (r *Resolver) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	// Canonicalise once; every layer below (inner resolvers, the A
+	// re-query) then takes dnswire.CanonicalName's allocation-free path.
+	q.Name = dnswire.CanonicalName(q.Name)
 	if q.Type == dnswire.TypePTR {
 		return r.resolvePTR(q)
 	}
@@ -102,12 +105,16 @@ func (r *Resolver) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 	if aResp.Rcode != dnswire.RcodeSuccess || len(aResp.Answers) == 0 {
 		return native, nil
 	}
-	out := dns.NoError()
+	// Reuse the A response message as the synthesized reply: only the
+	// answer-section header is replaced, so a cached inner message (which
+	// hands out guarded shallow copies) is never mutated.
+	out := aResp
 	out.Authoritative = false
+	synth := make([]dnswire.RR, 0, len(aResp.Answers))
 	for _, rr := range aResp.Answers {
 		switch rr.Type {
 		case dnswire.TypeCNAME:
-			out.Answers = append(out.Answers, rr)
+			synth = append(synth, rr)
 		case dnswire.TypeA:
 			if r.excluded(rr.Addr) {
 				continue
@@ -120,15 +127,16 @@ func (r *Resolver) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 			if r.SynthTTL != 0 && ttl > r.SynthTTL {
 				ttl = r.SynthTTL
 			}
-			out.Answers = append(out.Answers, dnswire.RR{
+			synth = append(synth, dnswire.RR{
 				Name: rr.Name, Type: dnswire.TypeAAAA, Class: rr.Class, TTL: ttl, Addr: syn,
 			})
 			r.Synthesized++
 		}
 	}
-	if len(out.Answers) == 0 {
+	if len(synth) == 0 {
 		return native, nil
 	}
+	out.Answers = synth
 	return out, nil
 }
 

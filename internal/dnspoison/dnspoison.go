@@ -53,11 +53,9 @@ func (w *Wildcard) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 		// dnsmasq address=/#/X: answer immediately, never checking whether
 		// the name exists. Non-existent FQDNs therefore get answers too.
 		w.Poisoned++
-		resp := dns.NoError()
-		resp.Answers = []dnswire.RR{{
+		return dns.SingleAnswer(dnswire.RR{
 			Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: w.TTL, Addr: w.Redirect,
-		}}
-		return resp, nil
+		}), nil
 	}
 	if w.Upstream == nil {
 		return nil, dns.ErrNoUpstream
@@ -114,9 +112,7 @@ func (r *RPZ) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 	// Name exists (with or without A records): rewrite so the IPv4-only
 	// client lands on the informational page.
 	r.Poisoned++
-	resp := dns.NoError()
-	resp.Answers = []dnswire.RR{{
+	return dns.SingleAnswer(dnswire.RR{
 		Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: r.TTL, Addr: r.Redirect,
-	}}
-	return resp, nil
+	}), nil
 }

@@ -1,0 +1,90 @@
+package dnswire
+
+import "testing"
+
+// The canonical fast path must not allocate: every resolver layer
+// (hoststack, dnspoison, dns64, dns.Cache) re-canonicalises the same
+// name 3–5 times per query.
+func TestCanonicalNameAllocFree(t *testing.T) {
+	names := []string{
+		"sc24.supercomputing.org.",
+		"vpn.anl.gov.rfc8925.com.",
+		".",
+		"a.",
+	}
+	for _, name := range names {
+		name := name
+		if avg := testing.AllocsPerRun(100, func() {
+			_ = CanonicalName(name)
+		}); avg != 0 {
+			t.Errorf("CanonicalName(%q) allocates %.1f times on canonical input", name, avg)
+		}
+	}
+}
+
+func TestMarshalAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	msg := NewQuery(1, "sc24.supercomputing.org", TypeAAAA)
+	// One allocation for the result buffer; the compression table is
+	// pooled and suffix keys are substrings.
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := msg.Marshal(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Errorf("Marshal allocates %.1f times per query, want <= 1", avg)
+	}
+}
+
+// Encoding into a recycled buffer must be allocation-free.
+func TestAppendMarshalReuseAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	msg := NewQuery(1, "sc24.supercomputing.org", TypeAAAA)
+	buf := make([]byte, 0, 512)
+	if avg := testing.AllocsPerRun(200, func() {
+		b, err := msg.AppendMarshal(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b[:0]
+	}); avg != 0 {
+		t.Errorf("AppendMarshal into recycled buffer allocates %.1f times, want 0", avg)
+	}
+}
+
+func TestParseAllocsBounded(t *testing.T) {
+	msg := NewQuery(1, "sc24.supercomputing.org", TypeAAAA)
+	wire, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Message struct + question slice + one name string.
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := Parse(wire); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 3 {
+		t.Errorf("Parse allocates %.1f times per query, want <= 3", avg)
+	}
+}
+
+// Compressed-name decode must cost one string per name, not one per label.
+func TestReadNameSingleAllocation(t *testing.T) {
+	wire, err := (&Message{
+		Questions: []Question{{Name: "deep.label.chain.sc24.supercomputing.org", Type: TypeAAAA, Class: ClassIN}},
+	}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := readName(wire, 12); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Errorf("readName allocates %.1f times per name, want <= 1", avg)
+	}
+}

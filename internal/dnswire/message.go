@@ -3,6 +3,7 @@ package dnswire
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 )
 
 // Resource record types.
@@ -168,10 +169,28 @@ func ReplyTo(q *Message) *Message {
 	return r
 }
 
+// tablePool recycles name-compression tables across Marshal calls. The
+// tables are cleared before being pooled, so they never pin message
+// strings beyond one encode.
+var tablePool = sync.Pool{
+	New: func() any { return make(map[string]int, 16) },
+}
+
 // Marshal encodes the message with name compression.
 func (m *Message) Marshal() ([]byte, error) {
-	b := make([]byte, 12, 512)
-	put16(b[0:], m.ID)
+	return m.AppendMarshal(make([]byte, 0, 512))
+}
+
+// AppendMarshal encodes the message with name compression, appending the
+// wire form to buf (which may be nil, or a recycled buffer from a
+// previous encode) and returning the extended slice. Compression offsets
+// are relative to the start of the appended message, so prefixed buffers
+// encode correctly.
+func (m *Message) AppendMarshal(buf []byte) ([]byte, error) {
+	var hdr [12]byte
+	base := len(buf)
+	b := append(buf, hdr[:]...)
+	put16(b[base:], m.ID)
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -190,16 +209,20 @@ func (m *Message) Marshal() ([]byte, error) {
 		flags |= 1 << 7
 	}
 	flags |= uint16(m.Rcode & 0xf)
-	put16(b[2:], flags)
-	put16(b[4:], uint16(len(m.Questions)))
-	put16(b[6:], uint16(len(m.Answers)))
-	put16(b[8:], uint16(len(m.Authorities)))
-	put16(b[10:], uint16(len(m.Additionals)))
+	put16(b[base+2:], flags)
+	put16(b[base+4:], uint16(len(m.Questions)))
+	put16(b[base+6:], uint16(len(m.Answers)))
+	put16(b[base+8:], uint16(len(m.Authorities)))
+	put16(b[base+10:], uint16(len(m.Additionals)))
 
-	table := make(map[string]int)
+	table := tablePool.Get().(map[string]int)
+	defer func() {
+		clear(table)
+		tablePool.Put(table)
+	}()
 	var err error
 	for _, q := range m.Questions {
-		if b, err = appendName(b, q.Name, table); err != nil {
+		if b, err = appendName(b, base, q.Name, table); err != nil {
 			return nil, err
 		}
 		b = append16(b, q.Type)
@@ -211,7 +234,7 @@ func (m *Message) Marshal() ([]byte, error) {
 	}
 	for _, sec := range [][]RR{m.Answers, m.Authorities, m.Additionals} {
 		for _, rr := range sec {
-			if b, err = appendRR(b, rr, table); err != nil {
+			if b, err = appendRR(b, rr, base, table); err != nil {
 				return nil, err
 			}
 		}
@@ -224,9 +247,9 @@ func append32(b []byte, v uint32) []byte {
 	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
-func appendRR(b []byte, rr RR, table map[string]int) ([]byte, error) {
+func appendRR(b []byte, rr RR, base int, table map[string]int) ([]byte, error) {
 	var err error
-	if b, err = appendName(b, rr.Name, table); err != nil {
+	if b, err = appendName(b, base, rr.Name, table); err != nil {
 		return nil, err
 	}
 	b = append16(b, rr.Type)
@@ -252,7 +275,7 @@ func appendRR(b []byte, rr RR, table map[string]int) ([]byte, error) {
 		a := rr.Addr.As16()
 		b = append(b, a[:]...)
 	case TypeCNAME, TypePTR, TypeNS:
-		if b, err = appendName(b, rr.Target, table); err != nil {
+		if b, err = appendName(b, base, rr.Target, table); err != nil {
 			return nil, err
 		}
 	case TypeTXT:
@@ -267,10 +290,10 @@ func appendRR(b []byte, rr RR, table map[string]int) ([]byte, error) {
 		if rr.SOA == nil {
 			return nil, fmt.Errorf("dnswire: SOA record %q missing data", rr.Name)
 		}
-		if b, err = appendName(b, rr.SOA.MName, table); err != nil {
+		if b, err = appendName(b, base, rr.SOA.MName, table); err != nil {
 			return nil, err
 		}
-		if b, err = appendName(b, rr.SOA.RName, table); err != nil {
+		if b, err = appendName(b, base, rr.SOA.RName, table); err != nil {
 			return nil, err
 		}
 		b = append32(b, rr.SOA.Serial)
@@ -304,6 +327,14 @@ func Parse(b []byte) (*Message, error) {
 
 	qd, an, ns, ar := int(be16(b[4:])), int(be16(b[6:])), int(be16(b[8:])), int(be16(b[10:]))
 	off := 12
+	// Pre-size the sections (capped, so a forged header cannot force a
+	// huge allocation before the records fail to parse).
+	if qd > 0 {
+		m.Questions = make([]Question, 0, min(qd, 8))
+	}
+	if an > 0 {
+		m.Answers = make([]RR, 0, min(an, 16))
+	}
 	var err error
 	for i := 0; i < qd; i++ {
 		var q Question

@@ -28,7 +28,30 @@ var (
 
 // CanonicalName lower-cases a domain name and ensures a trailing dot,
 // giving the representation used for map keys throughout the DNS stack.
+// Names that are already canonical — the overwhelmingly common case, as
+// every resolver layer re-canonicalises the same string 3–5 times per
+// query — are returned unchanged without allocating.
 func CanonicalName(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if ('A' <= c && c <= 'Z') || c >= 0x80 || asciiSpace(c) {
+			return canonicalNameSlow(name)
+		}
+	}
+	if len(name) == 0 {
+		return "."
+	}
+	if name[len(name)-1] != '.' {
+		return name + "."
+	}
+	return name
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+func canonicalNameSlow(name string) string {
 	name = strings.ToLower(strings.TrimSpace(name))
 	if name == "" || name == "." {
 		return "."
@@ -58,36 +81,46 @@ func IsSubdomain(child, parent string) bool {
 }
 
 // appendName encodes name at the end of msg, compressing against the
-// offsets already recorded in table (suffix -> offset). The table is
-// updated with any newly encoded suffixes.
-func appendName(msg []byte, name string, table map[string]int) ([]byte, error) {
+// offsets already recorded in table (suffix -> message-relative offset).
+// base is where the DNS message starts inside msg, so encoding can
+// append to a caller-supplied buffer. The table is updated with any
+// newly encoded suffixes; its keys are substrings of the canonical name,
+// so recording them never copies.
+func appendName(msg []byte, base int, name string, table map[string]int) ([]byte, error) {
 	name = CanonicalName(name)
 	if len(name) > MaxNameLen {
 		return nil, fmt.Errorf("%w: %q too long", ErrBadName, name)
 	}
-	labels := SplitLabels(name)
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	if name == "." {
+		return append(msg, 0), nil
+	}
+	for i := 0; i < len(name); {
+		suffix := name[i:]
 		if off, ok := table[suffix]; ok && off < 0x4000 {
 			return append(msg, 0xc0|byte(off>>8), byte(off)), nil
 		}
-		if len(labels[i]) > MaxLabelLen || len(labels[i]) == 0 {
-			return nil, fmt.Errorf("%w: label %q", ErrBadName, labels[i])
+		l := strings.IndexByte(suffix, '.')
+		if l <= 0 || l > MaxLabelLen {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, suffix[:max(l, 0)])
 		}
-		if table != nil && len(msg) < 0x4000 {
-			table[suffix] = len(msg)
+		if table != nil && len(msg)-base < 0x4000 {
+			table[suffix] = len(msg) - base
 		}
-		msg = append(msg, byte(len(labels[i])))
-		msg = append(msg, labels[i]...)
+		msg = append(msg, byte(l))
+		msg = append(msg, suffix[:l]...)
+		i += l + 1
 	}
 	return append(msg, 0), nil
 }
 
 // readName decodes a possibly-compressed name starting at off in msg.
 // It returns the canonical name and the offset just past the name in the
-// original (uncompressed) stream.
+// original (uncompressed) stream. Labels are lower-cased into a
+// stack-resident scratch buffer while decoding, so the whole name costs
+// a single string allocation.
 func readName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	var scratch [MaxNameLen + 1]byte
+	buf := scratch[:0]
 	jumped := false
 	next := off
 	hops := 0
@@ -101,14 +134,10 @@ func readName(msg []byte, off int) (string, int, error) {
 			if !jumped {
 				next = off + 1
 			}
-			name := sb.String()
-			if name == "" {
-				name = "."
+			if len(buf) == 0 {
+				return ".", next, nil
 			}
-			if len(name) > MaxNameLen {
-				return "", 0, fmt.Errorf("%w: decoded name too long", ErrBadName)
-			}
-			return CanonicalName(name), next, nil
+			return string(buf), next, nil
 		case b&0xc0 == 0xc0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrTruncatedMessage
@@ -130,8 +159,16 @@ func readName(msg []byte, off int) (string, int, error) {
 			if off+1+l > len(msg) {
 				return "", 0, ErrTruncatedMessage
 			}
-			sb.Write(msg[off+1 : off+1+l])
-			sb.WriteByte('.')
+			if len(buf)+l+1 > MaxNameLen {
+				return "", 0, fmt.Errorf("%w: decoded name too long", ErrBadName)
+			}
+			for _, c := range msg[off+1 : off+1+l] {
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				buf = append(buf, c)
+			}
+			buf = append(buf, '.')
 			off += 1 + l
 		}
 	}

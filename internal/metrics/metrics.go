@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"bytes"
 	"net/netip"
 	"sort"
 
@@ -51,6 +52,12 @@ func (u Usage) Classify() Class {
 type SSIDMonitor struct {
 	perMAC  map[netsim.MAC]*Usage
 	exclude map[netsim.MAC]bool
+
+	// sortedMACs caches the sorted key list for MACs(); it is
+	// invalidated whenever a new client MAC is first observed, so the
+	// report path does not re-sort and re-allocate per call while the
+	// population is unchanged.
+	sortedMACs []netsim.MAC
 }
 
 // NewSSIDMonitor returns an empty monitor.
@@ -97,6 +104,7 @@ func (m *SSIDMonitor) usage(mac netsim.MAC) *Usage {
 	if !ok {
 		u = &Usage{}
 		m.perMAC[mac] = u
+		m.sortedMACs = nil // new key: invalidate the report-path cache
 	}
 	return u
 }
@@ -169,16 +177,23 @@ func (m *SSIDMonitor) TrueIPv6Only() int {
 	return n
 }
 
-// MACs returns the observed client MACs in stable order.
+// MACs returns the observed client MACs in stable order. The slice is
+// cached between calls and only rebuilt after a new MAC appears; callers
+// must treat it as read-only.
 func (m *SSIDMonitor) MACs() []netsim.MAC {
-	out := make([]netsim.MAC, 0, len(m.perMAC))
-	for mac := range m.perMAC {
-		out = append(out, mac)
+	if m.sortedMACs == nil && len(m.perMAC) > 0 {
+		out := make([]netsim.MAC, 0, len(m.perMAC))
+		for mac := range m.perMAC {
+			out = append(out, mac)
+		}
+		// Byte order and colon-hex string order agree, so compare raw
+		// bytes instead of formatting two strings per comparison.
+		sort.Slice(out, func(i, j int) bool {
+			return bytes.Compare(out[i][:], out[j][:]) < 0
+		})
+		m.sortedMACs = out
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].String() < out[j].String()
-	})
-	return out
+	return m.sortedMACs
 }
 
 // AddrFamily is a tiny helper for reports: "IPv4", "IPv6" or "none".

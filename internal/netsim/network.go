@@ -1,7 +1,7 @@
 package netsim
 
 import (
-	"container/heap"
+	"sync"
 	"time"
 )
 
@@ -50,36 +50,203 @@ type Network struct {
 	Clock *Clock
 	macs  MACAllocator
 
-	queue   eventQueue
-	seq     uint64
-	frames  uint64 // total frames delivered
-	dropped uint64 // frames with no peer
+	queue     eventQueue
+	seq       uint64
+	frames    uint64 // total frames delivered
+	dropped   uint64 // frames with no peer
+	queuePeak int
+
+	arena payloadArena
 }
 
+// event is one pending occurrence on the fabric, ordered by (when, seq).
+// Frame deliveries are stored inline (dst != nil) so the hot path never
+// allocates a closure; everything else carries a callback in fn.
 type event struct {
-	when time.Time
-	seq  uint64
-	fn   func()
+	when  time.Time
+	seq   uint64
+	fn    func()
+	dst   *NIC
+	frame Frame
 }
 
+// eventQueue is a 4-ary min-heap over events keyed on (when, seq). A
+// hand-rolled heap (rather than container/heap) avoids boxing every
+// event in an interface on Push/Pop and lets the compare inline; the
+// wider fan-out halves tree depth for the deep queues a large client
+// population produces.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if !q[i].when.Equal(q[j].when) {
 		return q[i].when.Before(q[j].when)
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*q = old[:n-1]
-	return ev
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h)
+	root := h[0]
+	h[0] = h[n-1]
+	h[n-1] = event{} // release fn/payload references
+	h = h[:n-1]
+	*q = h
+	n--
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return root
+}
+
+// arenaChunkSize is the bump-allocation block the payload arena carves
+// frame copies from. Oversized payloads bypass the arena.
+const arenaChunkSize = 32 << 10
+
+// arenaMaxPayload bounds what the arena serves; larger payloads get a
+// dedicated allocation so one jumbo frame cannot burn a whole chunk.
+const arenaMaxPayload = arenaChunkSize / 4
+
+// arenaMaxRetired bounds how many exhausted chunks are kept for
+// RecycleArena; beyond it, chunks are dropped for the GC to reclaim.
+const arenaMaxRetired = 8
+
+// payloadArena bump-allocates per-hop frame payload copies out of
+// pooled chunks, so delivering a frame costs one chunk allocation per
+// ~hundreds of hops instead of one per hop. Chunks are sourced from a
+// sync.Pool; exhausted chunks are parked on a retired list and only
+// returned to the pool by an explicit RecycleArena call, because
+// receivers are allowed to retain delivered payloads indefinitely.
+type payloadArena struct {
+	pool    sync.Pool
+	cur     []byte
+	curRef  *[]byte
+	retired []*[]byte
+
+	chunksNew    uint64
+	chunksReused uint64
+	served       uint64
+	servedBytes  uint64
+	oversized    uint64
+}
+
+func (a *payloadArena) alloc(n int) []byte {
+	if n > arenaMaxPayload {
+		a.oversized++
+		return make([]byte, n)
+	}
+	if len(a.cur) < n {
+		if a.curRef != nil && len(a.retired) < arenaMaxRetired {
+			a.retired = append(a.retired, a.curRef)
+		}
+		if ref, ok := a.pool.Get().(*[]byte); ok {
+			a.chunksReused++
+			a.curRef = ref
+		} else {
+			a.chunksNew++
+			b := make([]byte, arenaChunkSize)
+			a.curRef = &b
+		}
+		a.cur = *a.curRef
+	}
+	p := a.cur[:n:n]
+	a.cur = a.cur[n:]
+	a.served++
+	a.servedBytes += uint64(n)
+	return p
+}
+
+func (a *payloadArena) recycle() {
+	for _, ref := range a.retired {
+		a.pool.Put(ref)
+	}
+	a.retired = a.retired[:0]
+}
+
+// RecycleArena returns exhausted payload chunks to the arena's pool for
+// reuse. The caller asserts that no previously delivered frame payload
+// is still referenced — e.g. between iterations of a benchmark or
+// scenario sweep after the fabric has gone quiescent. Without explicit
+// recycling the arena stays safe: retired chunks are simply left to the
+// garbage collector.
+func (n *Network) RecycleArena() { n.arena.recycle() }
+
+// Stats is a point-in-time snapshot of the fabric's hot-path counters,
+// exposed for the benchmark harness.
+type Stats struct {
+	// QueueDepth is the number of events currently pending.
+	QueueDepth int
+	// QueuePeak is the deepest the event queue has ever been.
+	QueuePeak int
+	// FramesDelivered / FramesDropped mirror the accessor methods.
+	FramesDelivered uint64
+	FramesDropped   uint64
+	// PayloadsServed counts per-hop payload copies served by the arena;
+	// AllocsAvoided is how many of those did not hit the Go allocator.
+	PayloadsServed uint64
+	AllocsAvoided  uint64
+	// PayloadBytes is the total bytes bump-allocated for payload copies.
+	PayloadBytes uint64
+	// ArenaChunksAllocated / ArenaChunksReused count 32 KiB chunk
+	// fetches that missed / hit the sync.Pool.
+	ArenaChunksAllocated uint64
+	ArenaChunksReused    uint64
+	// OversizedPayloads counts payloads too large for the arena.
+	OversizedPayloads uint64
+}
+
+// Stats returns the current hot-path counters.
+func (n *Network) Stats() Stats {
+	allocs := n.arena.chunksNew + n.arena.oversized
+	avoided := uint64(0)
+	if n.arena.served > allocs {
+		avoided = n.arena.served - allocs
+	}
+	return Stats{
+		QueueDepth:           len(n.queue),
+		QueuePeak:            n.queuePeak,
+		FramesDelivered:      n.frames,
+		FramesDropped:        n.dropped,
+		PayloadsServed:       n.arena.served,
+		AllocsAvoided:        avoided,
+		PayloadBytes:         n.arena.servedBytes,
+		ArenaChunksAllocated: n.arena.chunksNew,
+		ArenaChunksReused:    n.arena.chunksReused,
+		OversizedPayloads:    n.arena.oversized,
+	}
 }
 
 // NewNetwork returns an empty fabric with a fresh virtual clock.
@@ -107,7 +274,24 @@ func (n *Network) schedule(d time.Duration, fn func()) {
 		d = 0
 	}
 	n.seq++
-	heap.Push(&n.queue, event{when: n.Clock.Now().Add(d), seq: n.seq, fn: fn})
+	n.queue.push(event{when: n.Clock.Now().Add(d), seq: n.seq, fn: fn})
+	if len(n.queue) > n.queuePeak {
+		n.queuePeak = len(n.queue)
+	}
+}
+
+// scheduleFrame enqueues delivery of f to dst at virtual time now+d.
+// The frame rides inside the event itself, so a delivery costs no
+// closure allocation.
+func (n *Network) scheduleFrame(d time.Duration, dst *NIC, f Frame) {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	n.queue.push(event{when: n.Clock.Now().Add(d), seq: n.seq, dst: dst, frame: f})
+	if len(n.queue) > n.queuePeak {
+		n.queuePeak = len(n.queue)
+	}
 }
 
 // FramesDelivered reports the total number of frames delivered so far.
@@ -115,6 +299,20 @@ func (n *Network) FramesDelivered() uint64 { return n.frames }
 
 // FramesDropped reports frames transmitted on unconnected NICs.
 func (n *Network) FramesDropped() uint64 { return n.dropped }
+
+// run executes one popped event.
+func (n *Network) run(ev event) {
+	if ev.dst != nil {
+		n.frames++
+		ev.dst.rxFrames++
+		ev.dst.rxBytes += uint64(len(ev.frame.Payload))
+		if ev.dst.handler != nil {
+			ev.dst.handler.HandleFrame(ev.dst, ev.frame)
+		}
+		return
+	}
+	ev.fn()
+}
 
 // step executes the single earliest pending event or timer. When
 // useDeadline is set, events beyond deadline are left queued. It reports
@@ -135,9 +333,9 @@ func (n *Network) step(deadline time.Time, useDeadline bool) bool {
 		if useDeadline && evWhen.After(deadline) {
 			return false
 		}
-		ev := heap.Pop(&n.queue).(event)
+		ev := n.queue.pop()
 		n.Clock.advance(ev.when)
-		ev.fn()
+		n.run(ev)
 		return true
 	default:
 		if useDeadline && tm.when.After(deadline) {

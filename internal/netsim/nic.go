@@ -39,6 +39,8 @@ func (nc *NIC) SetHandler(h FrameHandler) { nc.handler = h }
 
 // Transmit sends a frame out this interface. If Src is unset it is
 // stamped with the NIC's own MAC. Delivery happens after the link latency.
+// The payload is copied synchronously (into the fabric's arena), so the
+// caller may reuse its buffer as soon as Transmit returns.
 func (nc *NIC) Transmit(f Frame) {
 	if f.Src.IsZero() {
 		f.Src = nc.mac
@@ -50,15 +52,10 @@ func (nc *NIC) Transmit(f Frame) {
 		nc.net.dropped++
 		return
 	}
-	cp := f.Clone()
-	nc.net.schedule(DefaultLinkLatency, func() {
-		nc.net.frames++
-		peer.rxFrames++
-		peer.rxBytes += uint64(len(cp.Payload))
-		if peer.handler != nil {
-			peer.handler.HandleFrame(peer, cp)
-		}
-	})
+	p := nc.net.arena.alloc(len(f.Payload))
+	copy(p, f.Payload)
+	f.Payload = p
+	nc.net.scheduleFrame(DefaultLinkLatency, peer, f)
 }
 
 // Stats returns cumulative (txFrames, rxFrames, txBytes, rxBytes).

@@ -116,6 +116,9 @@ type Testbed struct {
 	DHCPServer *dhcp4.Server
 
 	Healthy64 *dns64.Resolver
+	// HealthyCache is the bounded LRU cache in front of the healthy
+	// DNS64 resolver; the scale benchmarks assert its memory bound.
+	HealthyCache *dns.Cache
 	// Wildcard / RPZ is non-nil per Options.Poison.
 	Wildcard *dnspoison.Wildcard
 	RPZ      *dnspoison.RPZ
@@ -237,8 +240,8 @@ func (tb *Testbed) buildHealthyPi() {
 
 	tb.Healthy64 = dns64.New(tb.Internet.Resolver())
 	tb.HealthyLog = &dns.QueryLog{Inner: tb.Healthy64}
-	cached := dns.NewCache(tb.HealthyLog, tb.Net.Clock.Now)
-	hoststack.AttachDNSServer(pi, cached)
+	tb.HealthyCache = dns.NewCache(tb.HealthyLog, tb.Net.Clock.Now)
+	hoststack.AttachDNSServer(pi, tb.HealthyCache)
 	tb.HealthyPi = pi
 }
 
