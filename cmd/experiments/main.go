@@ -45,6 +45,7 @@ func main() {
 		{"ablB", "ablation: buggy vs fixed mirror scoring", ablB},
 		{"tabC", "M-21-31 NAT44 logging burden vs IPv6 adoption", tabC},
 		{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
+		{"scale", "sharded vs serial conference-floor run (equality + timing)", scale},
 	}
 
 	want := map[string]bool{}
@@ -369,6 +370,48 @@ func tabD() {
 		fmt.Printf("measured: refreshed=%3.0f%%  overcount=%-3d poisoned-queries=%-4d informed=%-2d internet=%d/%d\n",
 			frac*100, rep.Overcount, len(tb.PoisonLog.Queries), rep.Informed, rep.InternetOK, rep.Joined)
 	}
+}
+
+func scale() {
+	fmt.Println("engine: the same population run serially on one world and sharded across 8")
+	fmt.Println("        independent worlds must produce identical reports (see DESIGN.md §3a)")
+	const n = 240
+	devices := scenario.Population(1, n, scenario.DefaultMix())
+	fac := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), n)}
+
+	world, err := fac.Build()
+	if err != nil {
+		fmt.Printf("measured: build error %v\n", err)
+		return
+	}
+	start := time.Now()
+	serial := scenario.Run(world, devices)
+	serialTook := time.Since(start)
+	world.Close()
+
+	start = time.Now()
+	sharded, err := scenario.RunSharded(fac.Build, devices, scenario.ShardOptions{Shards: 8, Seed: 1})
+	if err != nil {
+		fmt.Printf("measured: sharded run error %v\n", err)
+		return
+	}
+	shardedTook := time.Since(start)
+
+	for _, row := range []struct {
+		name string
+		r    *scenario.Report
+		d    time.Duration
+	}{{"serial", serial, serialTook}, {"sharded-8", sharded, shardedTook}} {
+		fmt.Printf("measured: %-10s joined=%-4d informed=%-3d internet=%-4d overcount=%-3d nat64=%-4d poisoned-queries=%-4d wall=%v\n",
+			row.name, row.r.Joined, row.r.Informed, row.r.InternetOK,
+			row.r.Overcount, row.r.NAT64Sessions, row.r.PoisonedQueries, row.d.Round(time.Millisecond))
+	}
+	equal := serial.Joined == sharded.Joined && serial.Informed == sharded.Informed &&
+		serial.InternetOK == sharded.InternetOK && serial.Overcount == sharded.Overcount &&
+		serial.NAT64Sessions == sharded.NAT64Sessions && serial.PoisonedQueries == sharded.PoisonedQueries
+	fmt.Printf("measured: reports equal=%v  speedup=%.1fx (broadcast-domain work is quadratic\n",
+		equal, float64(serialTook)/float64(shardedTook))
+	fmt.Println("          in clients-per-switch, so 8 worlds of n/8 clients flood ~1/8 as much)")
 }
 
 func firstLine(b []byte) string {

@@ -17,7 +17,14 @@ import (
 func main() {
 	// The SC24v6 configuration: wildcard DNS poisoning redirecting to
 	// ip6.me, option 108 on the DHCP server, both switch interventions.
-	tb := testbed.New(testbed.DefaultOptions())
+	// DefaultTopology is the declarative description of the paper's
+	// Fig. 4 world; Build assembles it and reports configuration errors
+	// instead of panicking. (testbed.New is shorthand for exactly this.)
+	tb, err := testbed.Build(testbed.DefaultTopology(testbed.DefaultOptions()))
+	if err != nil {
+		log.Fatalf("building testbed: %v", err)
+	}
+	defer tb.Close()
 
 	phone := tb.AddClient("pixel", profiles.Android())
 	console := tb.AddClient("switch", profiles.NintendoSwitch())

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -16,15 +17,32 @@ import (
 func main() {
 	n := flag.Int("n", 60, "population size")
 	seed := flag.Int64("seed", 1, "population seed")
+	shards := flag.Int("shards", 0, "split the run across this many worlds (0 = serial)")
 	flag.Parse()
 
 	devices := scenario.Population(*seed, *n, scenario.DefaultMix())
 
 	optBase := testbed.DefaultOptions()
 	optBase.Poison = testbed.PoisonOff
-	base := scenario.Run(testbed.New(optBase), devices)
 
-	sc24 := scenario.Run(testbed.New(testbed.DefaultOptions()), devices)
+	run := func(opt testbed.Options) *scenario.Report {
+		if *shards > 1 {
+			// Sharded runs use the scale topology (wide pools, long
+			// lifetimes) so device outcomes are position-independent and
+			// the merged report matches a serial run of the same seed.
+			fac := testbed.Factory{Spec: testbed.ScaleTopology(opt, *n)}
+			rep, err := scenario.RunSharded(fac.Build, devices,
+				scenario.ShardOptions{Shards: *shards, Seed: *seed})
+			if err != nil {
+				log.Fatalf("sharded run: %v", err)
+			}
+			return rep
+		}
+		return scenario.Run(testbed.New(opt), devices)
+	}
+
+	base := run(optBase)
+	sc24 := run(testbed.DefaultOptions())
 
 	fmt.Printf("population: %d devices (seed %d)\n\n", *n, *seed)
 	fmt.Printf("%-10s %8s %9s %9s %9s %12s %10s\n",

@@ -157,6 +157,24 @@ func (l *QueryLog) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 	return l.Inner.Resolve(q)
 }
 
+// Len returns the number of questions seen. A nil log is empty.
+func (l *QueryLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Queries)
+}
+
+// Merge appends every question recorded by other. The operation is
+// associative, which is what lets the scenario engine fold the query
+// logs of independently simulated worlds into one aggregate log.
+func (l *QueryLog) Merge(other *QueryLog) {
+	if other == nil {
+		return
+	}
+	l.Queries = append(l.Queries, other.Queries...)
+}
+
 // Count returns how many questions of the given type were seen.
 func (l *QueryLog) Count(qtype uint16) int {
 	n := 0

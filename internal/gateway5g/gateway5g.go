@@ -59,6 +59,18 @@ type Config struct {
 	// CarrierDNS answers the gateway's LAN DNS proxy queries (plain
 	// carrier recursion — no DNS64 on the v4 path).
 	CarrierDNS dns.Resolver
+	// DHCPLeaseTime overrides the built-in DHCPv4 server's lease time
+	// (default one hour, matching the real device).
+	DHCPLeaseTime time.Duration
+	// NAT64UDPTimeout/NAT64TCPTimeout/NAT64TCPTransTimeout/
+	// NAT64ICMPTimeout override the translator's session lifetimes; zero
+	// fields keep the RFC 6146 defaults. The sharded scenario engine sets
+	// these effectively infinite so live-session counts are
+	// position-independent and merge associatively across worlds.
+	NAT64UDPTimeout      time.Duration
+	NAT64TCPTimeout      time.Duration
+	NAT64TCPTransTimeout time.Duration
+	NAT64ICMPTimeout     time.Duration
 }
 
 // Gateway is the device.
@@ -114,6 +126,9 @@ func New(net *netsim.Network, cfg Config) (*Gateway, error) {
 	if !cfg.WANv4NAT44.IsValid() && cfg.WANv4.IsValid() {
 		cfg.WANv4NAT44 = cfg.WANv4.Next()
 	}
+	if cfg.DHCPLeaseTime == 0 {
+		cfg.DHCPLeaseTime = time.Hour
+	}
 	g := &Gateway{
 		cfg: cfg,
 		net: net,
@@ -132,7 +147,7 @@ func New(net *netsim.Network, cfg Config) (*Gateway, error) {
 		SubnetMask: maskFor(cfg.LANv4Prefix),
 		Router:     cfg.LANv4,
 		DNS:        []netip.Addr{cfg.LANv4}, // gateway's own DNS proxy
-		LeaseTime:  time.Hour,
+		LeaseTime:  cfg.DHCPLeaseTime,
 		// No option 108: the paper's gateway cannot express it.
 	}, net.Clock.Now)
 	if err != nil {
@@ -151,6 +166,10 @@ func New(net *netsim.Network, cfg Config) (*Gateway, error) {
 		// Disjoint port ranges keep inbound WAN dispatch unambiguous
 		// between the two translators.
 		PortMin: 32768, PortMax: 49151,
+		UDPTimeout:      cfg.NAT64UDPTimeout,
+		TCPTimeout:      cfg.NAT64TCPTimeout,
+		TCPTransTimeout: cfg.NAT64TCPTransTimeout,
+		ICMPTimeout:     cfg.NAT64ICMPTimeout,
 	}, net.Clock.Now)
 	if err != nil {
 		return nil, err

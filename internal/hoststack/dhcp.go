@@ -23,13 +23,23 @@ type dhcpClient struct {
 	Renewals int
 }
 
-var dhcpXIDCounter uint32 = 0x5c240000
+// nextDHCPXID returns a fresh transaction ID, seeded from the host's
+// MAC so the sequence is a pure function of the host's own world (no
+// shared package counter). Servers match replies on xid AND chaddr, so
+// cross-host collisions are harmless.
+func (h *Host) nextDHCPXID() uint32 {
+	if h.dhcpXIDSeq == 0 {
+		mac := h.NIC.MAC()
+		h.dhcpXIDSeq = 0x5c240000 | uint32(mac[4])<<8 | uint32(mac[5])
+	}
+	h.dhcpXIDSeq++
+	return h.dhcpXIDSeq
+}
 
 // dhcpStart broadcasts a DISCOVER. RFC 8925-capable behaviours include
 // option 108 in the parameter request list.
 func (h *Host) dhcpStart() {
-	dhcpXIDCounter++
-	h.dhcp = dhcpClient{xid: dhcpXIDCounter, state: "selecting"}
+	h.dhcp = dhcpClient{xid: h.nextDHCPXID(), state: "selecting"}
 	h.udpBind[dhcp4.ClientPort] = func(_ netip.Addr, _ uint16, _ netip.Addr, payload []byte) {
 		if msg, err := dhcp4.Parse(payload); err == nil {
 			h.handleDHCPReply(msg)

@@ -72,6 +72,14 @@ type Host struct {
 
 	pings map[uint16]*pingWaiter
 
+	// Protocol identifier sequences (DHCP xid, DNS message ID, ICMP echo
+	// ID). These used to be package globals; keeping them per-host makes
+	// every world self-contained, so independently built worlds stay
+	// deterministic and race-free when simulated on parallel goroutines.
+	dhcpXIDSeq uint32
+	dnsIDSeq   uint16
+	pingIDSeq  uint16
+
 	// pmtu caches learned path MTUs per destination (RFC 8201).
 	pmtu map[netip.Addr]int
 

@@ -17,7 +17,12 @@ type pingWaiter struct {
 	sent time.Time
 }
 
-var pingIDCounter uint16 = 0x2400
+// nextPingID returns a fresh ICMP echo identifier, sequenced per host
+// for the same determinism reasons as nextDNSID.
+func (h *Host) nextPingID() uint16 {
+	h.pingIDSeq++
+	return 0x2400 + h.pingIDSeq
+}
 
 // pingWaiters is keyed by echo identifier.
 func (h *Host) pingWaiters() map[uint16]*pingWaiter {
@@ -53,8 +58,7 @@ type PingResult struct {
 // like the paper's Windows XP "ping sc24.supercomputing.org" example in
 // reverse.
 func (h *Host) Ping(dst netip.Addr, timeout time.Duration) (PingResult, error) {
-	pingIDCounter++
-	id := pingIDCounter
+	id := h.nextPingID()
 	w := &pingWaiter{sent: h.Net.Clock.Now()}
 	h.pingWaiters()[id] = w
 	defer delete(h.pingWaiters(), id)

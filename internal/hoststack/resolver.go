@@ -17,7 +17,14 @@ var ErrNameNotFound = errors.New("hoststack: name not found")
 // dnsQueryTimeout bounds one resolver round trip (virtual time).
 const dnsQueryTimeout = 3 * time.Second
 
-var dnsIDCounter uint16 = 0x0100
+// nextDNSID returns a fresh DNS message ID. Per-host sequencing (rather
+// than a package global) keeps concurrently simulated worlds
+// deterministic; IDs only need to be unique among this host's own
+// in-flight queries.
+func (h *Host) nextDNSID() uint16 {
+	h.dnsIDSeq++
+	return 0x0100 + h.dnsIDSeq
+}
 
 // Resolvers returns the ordered resolver list the OS profile would use:
 // a manual override beats everything; otherwise RDNSS-learned IPv6
@@ -41,8 +48,7 @@ func (h *Host) Resolvers() []netip.Addr {
 // QueryDNS sends one DNS query to a specific server and returns the
 // parsed response (nslookup with an explicit server).
 func (h *Host) QueryDNS(server netip.Addr, name string, qtype uint16) (*dnswire.Message, error) {
-	dnsIDCounter++
-	q := dnswire.NewQuery(dnsIDCounter, name, qtype)
+	q := dnswire.NewQuery(h.nextDNSID(), name, qtype)
 	wire, err := q.Marshal()
 	if err != nil {
 		return nil, err

@@ -153,6 +153,19 @@ func (m *SSIDMonitor) Counts() map[Class]int {
 	return out
 }
 
+// MergeCounts adds src's per-class tallies into dst and returns dst,
+// allocating it when nil. The merge is associative and commutative, so
+// per-shard scenario reports can be folded in any order.
+func MergeCounts(dst, src map[Class]int) map[Class]int {
+	if dst == nil {
+		dst = make(map[Class]int, len(src))
+	}
+	for c, n := range src {
+		dst[c] += n
+	}
+	return dst
+}
+
 // ReportedIPv6Only is the naive SC23-style statistic: every client that
 // sent any IPv6 data counts as an "IPv6 client" — even when it also ran
 // IPv4-literal applications.

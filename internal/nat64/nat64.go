@@ -42,6 +42,9 @@ type Config struct {
 	UDPTimeout  time.Duration
 	TCPTimeout  time.Duration
 	ICMPTimeout time.Duration
+	// TCPTransTimeout is the RFC 6146 §5.2 TCP_TRANS timer applied to
+	// closing TCP sessions (FIN/RST seen). Zero means the RFC default.
+	TCPTransTimeout time.Duration
 }
 
 // DefaultTCPTransTimeout is the RFC 6146 §5.2 TCP_TRANS timer: once a
@@ -112,6 +115,9 @@ func New(cfg Config, now func() time.Time) (*Translator, error) {
 	if cfg.ICMPTimeout == 0 {
 		cfg.ICMPTimeout = DefaultICMPTimeout
 	}
+	if cfg.TCPTransTimeout == 0 {
+		cfg.TCPTransTimeout = DefaultTCPTransTimeout
+	}
 	return &Translator{
 		cfg:      cfg,
 		now:      now,
@@ -140,7 +146,7 @@ func (t *Translator) timeoutFor(s *Session) time.Duration {
 	switch s.Proto {
 	case packet.ProtoTCP:
 		if s.Closing {
-			return DefaultTCPTransTimeout
+			return t.cfg.TCPTransTimeout
 		}
 		return t.cfg.TCPTimeout
 	case packet.ProtoUDP:

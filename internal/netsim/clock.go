@@ -13,6 +13,10 @@ type Clock struct {
 	now    time.Time
 	timers timerHeap
 	seq    uint64
+
+	// stopped refuses new timers after a purge (Network.Stop); AfterFunc
+	// then hands back inert, pre-stopped handles.
+	stopped bool
 }
 
 // NewClock returns a clock starting at a fixed, arbitrary epoch.
@@ -41,6 +45,9 @@ func (t *Timer) Stop() {
 
 // AfterFunc schedules fn to run d after the current virtual time.
 func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	if c.stopped {
+		return &Timer{stopped: true}
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -82,6 +89,17 @@ func (c *Clock) advance(tm time.Time) {
 	if tm.After(c.now) {
 		c.now = tm
 	}
+}
+
+// purge cancels every pending timer and refuses new ones until reset.
+func (c *Clock) purge() {
+	c.stopped = true
+	c.timers = nil
+}
+
+// reset rewinds the clock to a pristine state at the fixed epoch.
+func (c *Clock) reset() {
+	*c = *NewClock()
 }
 
 type timerHeap []*Timer

@@ -56,6 +56,10 @@ type Network struct {
 	dropped   uint64 // frames with no peer
 	queuePeak int
 
+	// stopped marks a fabric that has been shut down with Stop: pending
+	// work is discarded and new scheduling becomes a no-op until Reset.
+	stopped bool
+
 	arena payloadArena
 }
 
@@ -270,6 +274,9 @@ func (n *Network) Connect(a, b *NIC) {
 
 // schedule enqueues fn to run at virtual time now+d.
 func (n *Network) schedule(d time.Duration, fn func()) {
+	if n.stopped {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -284,6 +291,9 @@ func (n *Network) schedule(d time.Duration, fn func()) {
 // The frame rides inside the event itself, so a delivery costs no
 // closure allocation.
 func (n *Network) scheduleFrame(d time.Duration, dst *NIC, f Frame) {
+	if n.stopped {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}

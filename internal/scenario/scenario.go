@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dns"
 	"repro/internal/hoststack"
 	"repro/internal/httpsim"
 	"repro/internal/metrics"
@@ -55,16 +56,27 @@ func DefaultMix() []MixEntry {
 }
 
 // Population draws n devices from the mix, deterministically for a seed.
+// Entries with non-positive weight are ignored; a mix whose total weight
+// is zero or negative (or an empty mix) deterministically yields an
+// empty population instead of panicking inside the RNG.
 func Population(seed int64, n int, mix []MixEntry) []DeviceSpec {
 	rng := rand.New(rand.NewSource(seed))
 	total := 0
 	for _, m := range mix {
-		total += m.Weight
+		if m.Weight > 0 {
+			total += m.Weight
+		}
+	}
+	if total <= 0 || n <= 0 {
+		return []DeviceSpec{}
 	}
 	out := make([]DeviceSpec, 0, n)
 	for i := 0; i < n; i++ {
 		pick := rng.Intn(total)
 		for _, m := range mix {
+			if m.Weight <= 0 {
+				continue
+			}
 			if pick < m.Weight {
 				name := fmt.Sprintf("dev%03d-%s", i, shortName(m.Profile.Name))
 				out = append(out, DeviceSpec{Name: name, Profile: m.Profile, EcholinkOnly: m.EcholinkOnly})
@@ -124,6 +136,27 @@ type Report struct {
 	NAT44LogEntries int
 	// NAT64Sessions is the live NAT64 binding count after the run.
 	NAT64Sessions int
+
+	// Classes tallies every joined device by its observed traffic class.
+	Classes map[metrics.Class]int
+
+	// PoisonedQueries / HealthyQueries are the lengths of the two DNS
+	// servers' query logs after the run. Poisoned-server queries arrive
+	// uncached, so the count is a per-device sum and merges exactly
+	// across shards; the healthy server sits behind a shared cache whose
+	// dedup depends on which devices share a world, so its count is
+	// reported but excluded from the shard-equality contract.
+	PoisonedQueries int
+	HealthyQueries  int
+
+	// PoisonLog / HealthyLog hold the query logs backing those counters:
+	// the live testbed logs after a serial Run, shard-major merged
+	// copies after RunSharded.
+	PoisonLog  *dns.QueryLog
+	HealthyLog *dns.QueryLog
+
+	// Shards describes how the run was partitioned (nil for serial Run).
+	Shards []ShardInfo
 }
 
 // Run executes the workload for each device on a fresh client attached
@@ -177,6 +210,15 @@ func Run(tb *testbed.Testbed, devices []DeviceSpec) *Report {
 	rep.Overcount = rep.ReportedSSIDClients - rep.TrueIPv6Only
 	rep.NAT44LogEntries = len(tb.Gateway.NAT44.Log)
 	rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
+
+	rep.Classes = make(map[metrics.Class]int)
+	for _, dr := range rep.Devices {
+		rep.Classes[dr.Class]++
+	}
+	rep.PoisonLog = tb.PoisonLog
+	rep.HealthyLog = tb.HealthyLog
+	rep.PoisonedQueries = tb.PoisonLog.Len()
+	rep.HealthyQueries = tb.HealthyLog.Len()
 	return rep
 }
 

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dns"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+)
+
+// This file is the sharded execution engine: instead of bringing every
+// device up serially on one world, the population is split into K
+// deterministic shards, each shard runs on its own freshly built world
+// inside a bounded worker pool, and the per-shard reports fold into one
+// aggregate with an associative merge. Worlds are fully independent
+// (own fabric, clock, MAC space), so the only cross-goroutine state is
+// the result slots. Beyond wall-clock parallelism there is an
+// algorithmic win: broadcast-domain work (ARP, DHCP, RA flooding) is
+// quadratic in clients-per-switch, so K worlds of N/K clients do ~1/K
+// of the flooding a single N-client world does — the speedup holds even
+// on one core.
+
+// WorldFactory builds one fresh, independent world for a shard.
+// testbed.Factory.Build satisfies it; any closure over testbed.Build
+// does too. It must be safe to call from multiple goroutines — which it
+// is whenever each call returns a brand-new Testbed.
+type WorldFactory func() (*testbed.Testbed, error)
+
+// ShardOptions parameterizes RunSharded.
+type ShardOptions struct {
+	// Shards is the number of worlds the population splits across
+	// (default 1, i.e. a serial run on a fresh world).
+	Shards int
+	// Workers bounds how many worlds are simulated concurrently
+	// (default GOMAXPROCS, never more than Shards).
+	Workers int
+	// Seed is the base seed per-shard seeds derive from. Use the seed
+	// the population was drawn with so the whole run is reproducible
+	// from one number.
+	Seed int64
+}
+
+// ShardInfo records one shard of a partitioned run.
+type ShardInfo struct {
+	Index   int
+	Seed    int64
+	Devices int
+}
+
+// Shard is one deterministic slice of the population.
+type Shard struct {
+	Index int
+	// Seed is derived from the base seed and the shard index (splitmix64
+	// mixing), giving shard-local workloads an independent, reproducible
+	// randomness stream.
+	Seed    int64
+	Devices []DeviceSpec
+}
+
+// ShardDevices splits devices into k contiguous, near-equal shards.
+// Concatenating the shards in index order reproduces the input order
+// exactly, so a merged report's device list matches the serial run's.
+// k is clamped to [1, len(devices)] (a shard is never empty unless the
+// population is).
+func ShardDevices(seed int64, devices []DeviceSpec, k int) []Shard {
+	if k < 1 {
+		k = 1
+	}
+	if len(devices) > 0 && k > len(devices) {
+		k = len(devices)
+	}
+	shards := make([]Shard, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * len(devices) / k
+		hi := (i + 1) * len(devices) / k
+		shards = append(shards, Shard{Index: i, Seed: deriveSeed(seed, i), Devices: devices[lo:hi]})
+	}
+	return shards
+}
+
+// deriveSeed mixes the base seed with a shard index through the
+// splitmix64 finalizer, so adjacent shards get statistically unrelated
+// seeds while staying a pure function of (seed, shard).
+func deriveSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunSharded executes the population across opt.Shards freshly built
+// worlds and merges the per-shard reports. Each world is torn down with
+// Close as soon as its shard finishes. The partition, the per-shard
+// seeds and each world's simulation are all deterministic; only the
+// interleaving of workers varies between runs, and the merge is
+// insensitive to it. On a topology where device outcomes are
+// position-independent (see testbed.ScaleTopology), the merged report's
+// aggregate fields equal a serial Run's exactly.
+func RunSharded(factory WorldFactory, devices []DeviceSpec, opt ShardOptions) (*Report, error) {
+	if factory == nil {
+		return nil, errors.New("scenario: RunSharded needs a world factory")
+	}
+	shards := ShardDevices(opt.Seed, devices, opt.Shards)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	reports := make([]*Report, len(shards))
+	errs := make([]error, len(shards))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tb, err := factory()
+				if err != nil {
+					errs[i] = fmt.Errorf("scenario: shard %d: building world: %w", i, err)
+					continue
+				}
+				reports[i] = Run(tb, shards[i].Devices)
+				tb.Close()
+			}
+		}()
+	}
+	for i := range shards {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	rep := MergeReports(reports...)
+	rep.Shards = make([]ShardInfo, len(shards))
+	for i, s := range shards {
+		rep.Shards[i] = ShardInfo{Index: s.Index, Seed: s.Seed, Devices: len(s.Devices)}
+	}
+	return rep, nil
+}
+
+// MergeReports folds per-shard reports into one aggregate. Every
+// counter merge is associative and commutative (sums and per-class
+// tallies), so the result does not depend on grouping; only the order
+// of Devices and the merged query logs follows the argument order.
+// Overcount is recomputed from the merged counters rather than summed,
+// which is equivalent (it is linear in them) and keeps the invariant
+// Overcount == ReportedSSIDClients - TrueIPv6Only by construction.
+func MergeReports(parts ...*Report) *Report {
+	out := &Report{
+		PoisonLog:  &dns.QueryLog{},
+		HealthyLog: &dns.QueryLog{},
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Devices = append(out.Devices, p.Devices...)
+		out.Joined += p.Joined
+		out.Informed += p.Informed
+		out.InternetOK += p.InternetOK
+		out.ReportedSSIDClients += p.ReportedSSIDClients
+		out.TrueIPv6Only += p.TrueIPv6Only
+		out.NAT44LogEntries += p.NAT44LogEntries
+		out.NAT64Sessions += p.NAT64Sessions
+		out.PoisonedQueries += p.PoisonedQueries
+		out.HealthyQueries += p.HealthyQueries
+		out.Classes = metrics.MergeCounts(out.Classes, p.Classes)
+		out.PoisonLog.Merge(p.PoisonLog)
+		out.HealthyLog.Merge(p.HealthyLog)
+	}
+	out.Overcount = out.ReportedSSIDClients - out.TrueIPv6Only
+	return out
+}

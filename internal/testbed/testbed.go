@@ -9,6 +9,7 @@ package testbed
 
 import (
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dhcp4"
@@ -18,7 +19,6 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/gateway5g"
 	"repro/internal/hoststack"
-	"repro/internal/httpsim"
 	"repro/internal/inet"
 	"repro/internal/mgmtswitch"
 	"repro/internal/netsim"
@@ -104,7 +104,10 @@ func DefaultOptions() Options {
 // Testbed is the assembled Fig. 4 topology.
 type Testbed struct {
 	Opt Options
-	Net *netsim.Network
+	// Spec is the topology the world was built from; Snapshot turns it
+	// back into a factory for identical fresh worlds.
+	Spec Topology
+	Net  *netsim.Network
 
 	Internet *inet.Internet
 	Gateway  *gateway5g.Gateway
@@ -136,153 +139,44 @@ type Testbed struct {
 	Clients []*hoststack.Host
 }
 
-// New assembles and starts the testbed.
+// New assembles and starts the default world for opt. It is a thin
+// compatibility wrapper over Build(DefaultTopology(opt)) that keeps the
+// historical panic-on-error contract; new code should prefer Build,
+// which reports construction failures as errors and supports Close.
 func New(opt Options) *Testbed {
-	if !opt.RedirectV4.IsValid() {
-		opt.RedirectV4 = IP6MeV4
-	}
-	tb := &Testbed{Opt: opt, Net: netsim.NewNetwork()}
-
-	// The internet and its sites.
-	tb.Internet = inet.New(tb.Net)
-	tb.Mirror = portal.MirrorConfig{
-		Name: "test-ipv6.com",
-		V4:   MirrorV4, V6: MirrorV6,
-		V4Only: MirrorV4Only, V6Only: MirrorV6Only,
-		NAT64PublicV4: GatewayWANv4,
-	}
-	mh := portal.MirrorHandler(tb.Mirror)
-	mirrorSite := tb.Internet.AddSite(tb.Mirror.Name, MirrorV4, MirrorV6, mh)
-	tb.Internet.AddSubdomain(mirrorSite, "ipv4", MirrorV4Only, netip.Addr{}, mh)
-	tb.Internet.AddSubdomain(mirrorSite, "ipv6", netip.Addr{}, MirrorV6Only, mh)
-	tb.Internet.AddSubdomain(mirrorSite, "ds", MirrorV4, MirrorV6, nil)
-	tb.Internet.AddSubdomain(mirrorSite, "mtu6", netip.Addr{}, MirrorV6Only, nil)
-	tb.Internet.AddSubdomain(mirrorSite, "ns6", netip.Addr{}, MirrorV6Only, nil)
-
-	// RFC 7050: the well-known ipv4only.arpa records let CLAT clients
-	// discover the NAT64 prefix from the DNS64's synthesized answer.
-	arpaSite := tb.Internet.AddSite("ipv4only.arpa", netip.MustParseAddr("192.0.0.170"), netip.Addr{}, nil)
-	arpaSite.Zone.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: netip.MustParseAddr("192.0.0.171")})
-
-	tb.Internet.AddSite("ip6.me", IP6MeV4, IP6MeV6, portal.IP6MeHandler())
-	tb.Internet.AddSite("sc24.supercomputing.org", SC24V4, netip.Addr{},
-		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
-			return &httpsim.Response{Status: 200, Body: []byte("SC24 | The International Conference for HPC\n")}
-		}))
-	tb.Internet.AddSite("vpn.anl.gov", VPNGwV4, netip.Addr{},
-		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
-			return &httpsim.Response{Status: 200, Body: []byte("Argonne VPN gateway\n")}
-		}))
-	tb.Internet.AddSite("vtc.example.com", VTCV4, netip.Addr{},
-		httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
-			return &httpsim.Response{Status: 200, Body: []byte("VTC provider (IPv4-only)\n")}
-		}))
-	tb.Internet.BindUDPService(EcholinkV4, EcholinkPort,
-		func(src netip.Addr, srcPort uint16, dst netip.Addr, payload []byte) {
-			reply := append([]byte("echolink:"), payload...)
-			_ = tb.Internet.Host.ReplyUDP(dst, src, EcholinkPort, srcPort, reply)
-		})
-
-	// The 5G gateway.
-	gw, err := gateway5g.New(tb.Net, gateway5g.Config{
-		LANv4:       GatewayLANv4,
-		LANv4Prefix: LANPrefix,
-		PoolStart:   netip.MustParseAddr("192.168.12.50"),
-		PoolEnd:     netip.MustParseAddr("192.168.12.99"),
-		GUAPrefixes: []netip.Prefix{GUAPrefixA, GUAPrefixB},
-		ULARDNSS:    []netip.Addr{HealthyV6, HealthyV6B},
-		WANv4:       GatewayWANv4,
-		WANv4NAT44:  GatewayNAT44v4,
-		CarrierDNS:  tb.Internet.Resolver(),
-		WANMTU:      1480, // the 5G link's encapsulation overhead
-	})
+	tb, err := Build(DefaultTopology(opt))
 	if err != nil {
 		panic("testbed: " + err.Error())
 	}
-	tb.Gateway = gw
-	tb.Internet.ConnectBehind(gw)
-
-	// The managed switch with its interventions.
-	tb.Switch = mgmtswitch.New(tb.Net, "mgmt-switch", mgmtswitch.Config{
-		ULAPrefix:    ULAPrefix,
-		AdvertiseULA: opt.SwitchULARA,
-		SnoopDHCP:    opt.SnoopDHCP,
-	})
-	gwPort := tb.Switch.AttachPort(gw.LANNIC())
-	if opt.SnoopDHCP {
-		tb.Switch.BlockDHCPFrom(gwPort)
-	}
-
-	tb.buildHealthyPi()
-	tb.buildPoisonPi()
-	tb.buildDHCPPi()
-
-	if opt.RestrictIPv4 {
-		gw.BlockNAT44()
-	}
-	gw.Start()
-	tb.Switch.Start()
-	// Let beacons and server bring-up settle.
-	tb.Net.RunFor(time.Second)
 	return tb
 }
 
-// buildHealthyPi stands up the Raspberry Pi BIND9 DNS64 server at
-// fd00:976a::9 (+::10, +192.168.12.251).
-func (tb *Testbed) buildHealthyPi() {
-	pi := hoststack.New(tb.Net, "pi-dns64", hoststack.Behavior{
-		Name: "pi-dns64", IPv6Enabled: true, IPv4Enabled: true, SupportsRDNSS: true,
-	})
-	tb.Switch.AttachPort(pi.NIC)
-	pi.AddIPv6Static(HealthyV6, ULAPrefix)
-	pi.AddIPv6Static(HealthyV6B, ULAPrefix)
-	pi.SetIPv4Static(HealthyV4, LANPrefix, GatewayLANv4)
-
-	tb.Healthy64 = dns64.New(tb.Internet.Resolver())
-	tb.HealthyLog = &dns.QueryLog{Inner: tb.Healthy64}
-	tb.HealthyCache = dns.NewCache(tb.HealthyLog, tb.Net.Clock.Now)
-	hoststack.AttachDNSServer(pi, tb.HealthyCache)
-	tb.HealthyPi = pi
-}
-
-// buildPoisonPi stands up the dnsmasq-style poisoned IPv4 DNS server at
-// 192.168.12.253. Its AAAA upstream is the healthy DNS64 (the paper's
-// "server=192.168.12.251" line; the hop between the two Pis is collapsed
-// in-process — see DESIGN.md).
-func (tb *Testbed) buildPoisonPi() {
-	pi := hoststack.New(tb.Net, "pi-poison", hoststack.Behavior{
-		Name: "pi-poison", IPv6Enabled: true, IPv4Enabled: true, SupportsRDNSS: true,
-	})
-	tb.Switch.AttachPort(pi.NIC)
-	pi.SetIPv4Static(PoisonV4, LANPrefix, GatewayLANv4)
-
-	var resolver dns.Resolver
-	switch tb.Opt.Poison {
-	case PoisonWildcard:
-		tb.Wildcard = dnspoison.NewWildcard(tb.Healthy64)
-		tb.Wildcard.Redirect = tb.Opt.RedirectV4
-		resolver = tb.Wildcard
-	case PoisonRPZ:
-		tb.RPZ = dnspoison.NewRPZ(tb.Healthy64)
-		tb.RPZ.Redirect = tb.Opt.RedirectV4
-		resolver = tb.RPZ
-	default:
-		// No intervention (the SC23 baseline): plain healthy DNS64.
-		resolver = tb.Healthy64
-	}
-	tb.poisonSwitch = &switchableResolver{active: resolver}
-	tb.PoisonLog = &dns.QueryLog{Inner: tb.poisonSwitch}
-	hoststack.AttachDNSServer(pi, tb.PoisonLog)
-	tb.PoisonPi = pi
-}
-
 // switchableResolver lets the intervention be rolled back at runtime.
+// The active resolver is swapped atomically: RollBackIntervention may
+// be called while other worlds — or a concurrent driver — are mid-
+// Resolve, and a torn read must never be observed.
 type switchableResolver struct {
-	active dns.Resolver
+	active atomic.Value // holds resolverBox
+}
+
+// resolverBox gives atomic.Value a single consistent concrete type even
+// though the boxed resolvers (Wildcard, RPZ, DNS64) vary.
+type resolverBox struct {
+	r dns.Resolver
+}
+
+func newSwitchableResolver(r dns.Resolver) *switchableResolver {
+	s := &switchableResolver{}
+	s.swap(r)
+	return s
+}
+
+func (s *switchableResolver) swap(r dns.Resolver) {
+	s.active.Store(resolverBox{r: r})
 }
 
 func (s *switchableResolver) Resolve(q dnswire.Question) (*dnswire.Message, error) {
-	return s.active.Resolve(q)
+	return s.active.Load().(resolverBox).r.Resolve(q)
 }
 
 // RollBackIntervention implements the paper §VII contingency ("an
@@ -290,53 +184,19 @@ func (s *switchableResolver) Resolve(q dnswire.Question) (*dnswire.Message, erro
 // issues be reported"): the poisoned server instantly becomes a plain
 // forwarder to the healthy DNS64, without any client reconfiguration.
 func (tb *Testbed) RollBackIntervention() {
-	tb.poisonSwitch.active = tb.Healthy64
+	tb.poisonSwitch.swap(tb.Healthy64)
 }
 
 // ReinstateIntervention restores the configured poisoning policy.
 func (tb *Testbed) ReinstateIntervention() {
 	switch {
 	case tb.Wildcard != nil:
-		tb.poisonSwitch.active = tb.Wildcard
+		tb.poisonSwitch.swap(tb.Wildcard)
 	case tb.RPZ != nil:
-		tb.poisonSwitch.active = tb.RPZ
+		tb.poisonSwitch.swap(tb.RPZ)
 	default:
-		tb.poisonSwitch.active = tb.Healthy64
+		tb.poisonSwitch.swap(tb.Healthy64)
 	}
-}
-
-// buildDHCPPi stands up the Raspberry Pi DHCPv4 server with option 108.
-func (tb *Testbed) buildDHCPPi() {
-	pi := hoststack.New(tb.Net, "pi-dhcp", hoststack.Behavior{
-		Name: "pi-dhcp", IPv4Enabled: true,
-	})
-	tb.Switch.AttachPort(pi.NIC)
-	pi.SetIPv4Static(DHCPPiV4, LANPrefix, GatewayLANv4)
-
-	cfg := dhcp4.ServerConfig{
-		ServerID:   DHCPPiV4,
-		PoolStart:  netip.MustParseAddr("192.168.12.100"),
-		PoolEnd:    netip.MustParseAddr("192.168.12.199"),
-		SubnetMask: netip.MustParseAddr("255.255.255.0"),
-		Router:     GatewayLANv4,
-		DNS:        []netip.Addr{PoisonV4},
-		DomainName: "rfc8925.com",
-		LeaseTime:  time.Hour,
-	}
-	if tb.Opt.Option108 {
-		cfg.V6OnlyWait = 30 * time.Minute
-	}
-	if tb.Opt.Poison == PoisonOff {
-		// SC23 baseline: clients point at the healthy server's v4 address.
-		cfg.DNS = []netip.Addr{HealthyV4}
-	}
-	srv, err := dhcp4.NewServer(cfg, tb.Net.Clock.Now)
-	if err != nil {
-		panic("testbed: " + err.Error())
-	}
-	tb.DHCPServer = srv
-	hoststack.AttachDHCPServer(pi, srv)
-	tb.DHCPPi = pi
 }
 
 // AddClient attaches a client with the given OS behaviour and brings it
