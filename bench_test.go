@@ -496,3 +496,30 @@ func BenchmarkScenarioSharded(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkChaos measures the fault-injected hot path: a 64-device
+// population on 10%-loss impaired links, each device churned through one
+// gateway reboot and probed back to convergence. Relative to the clean
+// BenchmarkScenarioSharded run, the delta is the cost of the impairment
+// PRNG draws, the retry/backoff machinery and the renumbering traffic.
+func BenchmarkChaos(b *testing.B) {
+	b.ReportAllocs()
+	const n = 64
+	devices := scenario.Population(1, n, scenario.DefaultMix())
+	spec := scenario.ChaosSpec(1, n, 0, 0.10, 0)
+	fac := testbed.Factory{Spec: spec}
+	opt := scenario.ShardOptions{
+		Shards: 4, Seed: 1,
+		Run: scenario.RunOptions{RebootsPerDevice: 1, ConvergeTimeout: 30 * time.Second},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.RunSharded(fac.Build, devices, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Joined != n {
+			b.Fatal("population lost")
+		}
+	}
+}

@@ -46,11 +46,12 @@ func main() {
 		{"tabC", "M-21-31 NAT44 logging burden vs IPv6 adoption", tabC},
 		{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
 		{"scale", "sharded vs serial conference-floor run (equality + timing)", scale},
+		{"chaos", "loss × gateway-reboot degradation matrix (DESIGN.md §3b)", chaos},
 	}
 
 	want := map[string]bool{}
 	for _, a := range os.Args[1:] {
-		want[a] = true
+		want[strings.TrimLeft(a, "-")] = true
 	}
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {
@@ -412,6 +413,24 @@ func scale() {
 	fmt.Printf("measured: reports equal=%v  speedup=%.1fx (broadcast-domain work is quadratic\n",
 		equal, float64(serialTook)/float64(shardedTook))
 	fmt.Println("          in clients-per-switch, so 8 worlds of n/8 clients flood ~1/8 as much)")
+}
+
+func chaos() {
+	fmt.Println("engine: sweep the loss × gateway-reboot grid over impaired worlds; every value")
+	fmt.Println("        is a counter or virtual-clock duration, so this output is deterministic")
+	fmt.Println("        and documented verbatim in EXPERIMENTS.md §chaos")
+	m, err := scenario.ChaosSweep(scenario.ChaosConfig{Seed: 1, N: 24, Shards: 4})
+	if err != nil {
+		fmt.Printf("measured: chaos sweep error %v\n", err)
+		return
+	}
+	fmt.Print(m.String())
+	fmt.Println()
+	fmt.Println("per-class re-convergence after gateway reboots:")
+	fmt.Print(m.ClassBreakdown())
+	fmt.Println("shape: loss hurts the v4-only tail first (DHCP retransmission vs RA beacons);")
+	fmt.Println("       churned devices that had internet re-converge within the RA/DHCP retry")
+	fmt.Println("       budget, and the renumbered prefix never strands an RFC 4862 host")
 }
 
 func firstLine(b []byte) string {

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/profiles"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -25,6 +26,9 @@ func main() {
 	restrictV4 := flag.Bool("restrict-v4", false, "apply the §VI ACL blocking IPv4 internet")
 	events := flag.Bool("events", false, "dump per-host event traces")
 	pcap := flag.Int("pcap", 0, "print up to N tcpdump-style lines from the access switch")
+	loss := flag.Float64("loss", 0, "per-client link loss probability (0..1), seeded deterministically")
+	churn := flag.Int("churn", 0, "reboot the 5G gateway N times after the probes and re-evaluate")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the per-client impairment streams")
 	flag.Parse()
 
 	opt := testbed.DefaultOptions()
@@ -52,10 +56,19 @@ func main() {
 	opt.Option108 = !*noOption108
 	opt.RestrictIPv4 = *restrictV4
 
-	fmt.Printf("testbed: poison=%s redirect=%v option108=%v snoop=%v switch-ra=%v restrict-v4=%v\n\n",
-		*poison, opt.RedirectV4, opt.Option108, opt.SnoopDHCP, opt.SwitchULARA, opt.RestrictIPv4)
+	fmt.Printf("testbed: poison=%s redirect=%v option108=%v snoop=%v switch-ra=%v restrict-v4=%v loss=%.0f%% churn=%d\n\n",
+		*poison, opt.RedirectV4, opt.Option108, opt.SnoopDHCP, opt.SwitchULARA, opt.RestrictIPv4, *loss*100, *churn)
 
-	tb := testbed.New(opt)
+	spec := testbed.DefaultTopology(opt)
+	if *loss > 0 {
+		spec.Impair = netsim.Impairment{Loss: *loss}
+		spec.ChaosSeed = *chaosSeed
+	}
+	tb, err := testbed.Build(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building testbed: %v\n", err)
+		os.Exit(1)
+	}
 	var tap *trace.Tap
 	if *pcap > 0 {
 		tap = &trace.Tap{Max: *pcap}
@@ -69,6 +82,17 @@ func main() {
 			for _, e := range c.Events {
 				fmt.Printf("    %s\n", e)
 			}
+		}
+	}
+
+	if *churn > 0 {
+		for i := 0; i < *churn; i++ {
+			tb.Gateway.Reboot()
+		}
+		fmt.Printf("\nafter %d gateway reboot(s) — leases, NAT state and the GUA /64 are gone:\n", *churn)
+		for _, c := range tb.Clients {
+			o := core.Evaluate(tb, c)
+			fmt.Println(core.MatrixRow{Outcome: o})
 		}
 	}
 

@@ -37,6 +37,14 @@ type Server struct {
 
 	leases map[[6]byte]*Lease
 	inUse  map[netip.Addr][6]byte
+	// cursor is where the next pool scan starts. Allocation is
+	// round-robin rather than first-fit, and the cursor deliberately
+	// survives DropLeases: a client that lost its server-side binding in
+	// a gateway power cycle still holds its address, so re-offering low
+	// pool addresses immediately after a wipe would hand new clients an
+	// address an earlier client is actively using (RFC 2131 §4.3.1 asks
+	// servers to avoid exactly that reuse).
+	cursor netip.Addr
 
 	// Counters for the experiment harness.
 	Offers        uint64
@@ -62,6 +70,7 @@ func NewServer(cfg ServerConfig, now func() time.Time) (*Server, error) {
 		now:    now,
 		leases: make(map[[6]byte]*Lease),
 		inUse:  make(map[netip.Addr][6]byte),
+		cursor: cfg.PoolStart,
 	}, nil
 }
 
@@ -168,6 +177,17 @@ func (s *Server) release(chaddr [6]byte) {
 	}
 }
 
+// DropLeases forgets every binding at once — the server-side effect of
+// a power cycle on a device that keeps its lease table in RAM (the
+// paper's 5G gateway). Clients discover the loss when their next
+// REQUEST is NAKed and must re-DISCOVER. The allocation cursor is NOT
+// reset, so addresses issued before the wipe — still held client-side —
+// are not re-offered until the pool wraps.
+func (s *Server) DropLeases() {
+	clear(s.leases)
+	clear(s.inUse)
+}
+
 // allocate finds or creates a lease for the client.
 func (s *Server) allocate(req *Message) (netip.Addr, bool) {
 	now := s.now()
@@ -181,7 +201,12 @@ func (s *Server) allocate(req *Message) (netip.Addr, bool) {
 			return s.commit(req.CHAddr, want), true
 		}
 	}
-	for a := s.cfg.PoolStart; s.inPool(a); a = a.Next() {
+	// Round-robin scan: start at the cursor, wrap once through the pool.
+	a := s.cursor
+	if !s.inPool(a) {
+		a = s.cfg.PoolStart
+	}
+	for first := a; ; {
 		owner, used := s.inUse[a]
 		if !used {
 			return s.commit(req.CHAddr, a), true
@@ -190,13 +215,21 @@ func (s *Server) allocate(req *Message) (netip.Addr, bool) {
 			s.release(owner) // reclaim expired lease
 			return s.commit(req.CHAddr, a), true
 		}
+		if a = a.Next(); !s.inPool(a) {
+			a = s.cfg.PoolStart
+		}
+		if a == first {
+			return netip.Addr{}, false
+		}
 	}
-	return netip.Addr{}, false
 }
 
 func (s *Server) commit(chaddr [6]byte, addr netip.Addr) netip.Addr {
 	s.leases[chaddr] = &Lease{Addr: addr, CHAddr: chaddr, Expires: s.now().Add(s.cfg.LeaseTime)}
 	s.inUse[addr] = chaddr
+	if s.cursor = addr.Next(); !s.inPool(s.cursor) {
+		s.cursor = s.cfg.PoolStart
+	}
 	return addr
 }
 

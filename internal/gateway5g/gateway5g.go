@@ -86,6 +86,9 @@ type Gateway struct {
 	haveWAN    bool
 
 	rebootCount int
+	// prevGUA is the /64 advertised before the most recent reboot; RAs
+	// deprecate it (PreferredLifetime 0) so hosts abandon stale GUAs.
+	prevGUA netip.Prefix
 
 	DHCP  *dhcp4.Server
 	NAT44 *nat44.Translator
@@ -207,13 +210,26 @@ func (g *Gateway) Start() {
 	g.armRATimer()
 }
 
-// Reboot simulates a power cycle: the carrier hands out the next /64 and
-// translator state is lost.
+// RebootCount returns how many times the gateway has power-cycled.
+func (g *Gateway) RebootCount() int { return g.rebootCount }
+
+// Reboot simulates a power cycle: the carrier hands out the next /64,
+// every NAT64/NAT44 session and built-in DHCP lease is lost, the
+// neighbor caches empty, and the immediate post-reboot RA carries the
+// previous prefix with PreferredLifetime 0 so RFC 4862 hosts deprecate
+// their stale GUAs and renumber onto the fresh /64. Allocation cursors
+// (DHCP pool position, NAT WAN-port position) survive the cycle:
+// external peers and clients keep state keyed by pre-reboot allocations,
+// so handing those out again immediately would splice new flows into
+// stale ones.
 func (g *Gateway) Reboot() {
+	g.prevGUA = g.CurrentGUAPrefix()
 	g.rebootCount++
-	g.NAT64, _ = nat64.New(g.NAT64.Config(), g.net.Clock.Now)
-	g.NAT44, _ = nat44.New(g.cfg.WANv4NAT44, g.net.Clock.Now)
-	_ = g.NAT44.SetPortRange(49152, 65535)
+	g.DHCP.DropLeases()
+	g.NAT64.FlushSessions()
+	g.NAT44.FlushSessions()
+	clear(g.arp)
+	clear(g.nd)
 	g.sendRA()
 }
 
@@ -226,6 +242,20 @@ func (g *Gateway) armRATimer() {
 
 // sendRA multicasts the gateway's (flawed) Router Advertisement.
 func (g *Gateway) sendRA() {
+	prefixes := []ndp.PrefixInfo{{
+		Prefix: g.CurrentGUAPrefix(),
+		OnLink: true, Autonomous: true,
+		ValidLifetime: 2 * time.Hour, PreferredLifetime: time.Hour,
+	}}
+	if g.prevGUA.IsValid() && g.prevGUA != g.CurrentGUAPrefix() {
+		// Post-reboot renumbering: keep the old /64 on-link for its
+		// remaining valid lifetime but deprecate it immediately.
+		prefixes = append(prefixes, ndp.PrefixInfo{
+			Prefix: g.prevGUA,
+			OnLink: true, Autonomous: true,
+			ValidLifetime: 2 * time.Hour, PreferredLifetime: 0,
+		})
+	}
 	ra := &ndp.RouterAdvert{
 		CurHopLimit:    64,
 		RouterLifetime: 30 * time.Minute,
@@ -233,13 +263,9 @@ func (g *Gateway) sendRA() {
 		SourceLinkAddr: g.lan.MAC(),
 		HasSourceLink:  true,
 		MTU:            1500,
-		Prefixes: []ndp.PrefixInfo{{
-			Prefix: g.CurrentGUAPrefix(),
-			OnLink: true, Autonomous: true,
-			ValidLifetime: 2 * time.Hour, PreferredLifetime: time.Hour,
-		}},
-		RDNSS:         g.cfg.ULARDNSS, // the dead ULA resolvers (Fig. 3)
-		RDNSSLifetime: 30 * time.Minute,
+		Prefixes:       prefixes,
+		RDNSS:          g.cfg.ULARDNSS, // the dead ULA resolvers (Fig. 3)
+		RDNSSLifetime:  30 * time.Minute,
 	}
 	if g.cfg.AdvertisePREF64 {
 		ra.PREF64 = dns64.WellKnownPrefix

@@ -8,7 +8,9 @@ import (
 	"repro/internal/dns"
 	"repro/internal/dnswire"
 	"repro/internal/hoststack"
+	"repro/internal/ndp"
 	"repro/internal/netsim"
+	"repro/internal/packet"
 )
 
 func carrierDNS() dns.Resolver {
@@ -140,6 +142,64 @@ func TestRebootRotatesPrefixAndFlushesSessions(t *testing.T) {
 	}
 	if gw.NAT64.SessionCount() != 0 || gw.NAT44.SessionCount() != 0 {
 		t.Error("translator state survived reboot")
+	}
+}
+
+func TestRebootDropsLeasesAndDeprecatesOldPrefix(t *testing.T) {
+	net := netsim.NewNetwork()
+	gw, c := lanClient(t, net, hoststack.Behavior{Name: "c", IPv4Enabled: true})
+	gw.Start()
+	c.Start()
+	net.RunFor(time.Second)
+	if gw.DHCP.LeaseCount() != 1 {
+		t.Fatalf("lease count = %d before reboot", gw.DHCP.LeaseCount())
+	}
+
+	// Snoop the LAN for the post-reboot RA.
+	var ras []*ndp.RouterAdvert
+	c.NIC.SetHandler(netsim.FrameHandlerFunc(func(_ *netsim.NIC, f netsim.Frame) {
+		if f.EtherType != netsim.EtherTypeIPv6 {
+			return
+		}
+		p, err := packet.ParseIPv6(f.Payload)
+		if err != nil || p.NextHeader != packet.ProtoICMPv6 {
+			return
+		}
+		ic, err := packet.ParseICMPv6(p.Payload, p.Src, p.Dst)
+		if err != nil || ic.Type != packet.ICMPv6RouterAdvert {
+			return
+		}
+		if ra, err := ndp.ParseRouterAdvert(ic.Body); err == nil {
+			ras = append(ras, ra)
+		}
+	}))
+
+	old := gw.CurrentGUAPrefix()
+	gw.Reboot()
+	net.RunFor(time.Second)
+
+	if gw.RebootCount() != 1 {
+		t.Errorf("RebootCount = %d", gw.RebootCount())
+	}
+	if gw.DHCP.LeaseCount() != 0 {
+		t.Errorf("built-in DHCP kept %d leases across the reboot", gw.DHCP.LeaseCount())
+	}
+	if len(ras) == 0 {
+		t.Fatal("no RA after reboot")
+	}
+	ra := ras[0]
+	var sawNew, sawDeprecated bool
+	for _, pi := range ra.Prefixes {
+		switch pi.Prefix {
+		case gw.CurrentGUAPrefix():
+			sawNew = pi.PreferredLifetime > 0
+		case old:
+			sawDeprecated = pi.PreferredLifetime == 0 && pi.ValidLifetime > 0
+		}
+	}
+	if !sawNew || !sawDeprecated {
+		t.Errorf("post-reboot RA prefixes = %+v (new preferred: %v, old deprecated: %v)",
+			ra.Prefixes, sawNew, sawDeprecated)
 	}
 }
 

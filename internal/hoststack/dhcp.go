@@ -17,11 +17,29 @@ type dhcpClient struct {
 	xid        uint32
 	state      string // "", "selecting", "requesting", "bound", "v6only"
 	serverID   netip.Addr
+	reqAddr    netip.Addr // address being REQUESTed (for retransmission)
 	lease      time.Duration
 	renewTimer *netsim.Timer
+	retryTimer *netsim.Timer
+	// attempt counts retransmissions of the in-flight message; the
+	// RFC 2131 §4.1 backoff doubles the interval per attempt.
+	attempt int
 	// Renewals counts successful T1 renewals (observable in tests).
 	Renewals int
+	// Retransmits counts DISCOVER/REQUEST resends (observable in tests).
+	Retransmits int
 }
+
+// RFC 2131 §4.1 retransmission schedule: 4s, 8s, 16s, 32s, then 64s
+// between tries (deterministic — the suggested ±1s randomization would
+// break replayability). After dhcpMaxRequestTries lost REQUESTs the
+// client falls back to a fresh DISCOVER, per §3.1.5.
+const (
+	dhcpRetryBase        = 4 * time.Second
+	dhcpRetryCap         = 64 * time.Second
+	dhcpMaxRequestTries  = 4
+	dhcpMaxDiscoverTries = 8
+)
 
 // nextDHCPXID returns a fresh transaction ID, seeded from the host's
 // MAC so the sequence is a pure function of the host's own world (no
@@ -39,12 +57,24 @@ func (h *Host) nextDHCPXID() uint32 {
 // dhcpStart broadcasts a DISCOVER. RFC 8925-capable behaviours include
 // option 108 in the parameter request list.
 func (h *Host) dhcpStart() {
-	h.dhcp = dhcpClient{xid: h.nextDHCPXID(), state: "selecting"}
+	h.stopDHCPRetry()
+	h.dhcp = dhcpClient{
+		xid: h.nextDHCPXID(), state: "selecting",
+		// Observability counters survive transaction restarts.
+		Renewals: h.dhcp.Renewals, Retransmits: h.dhcp.Retransmits,
+	}
 	h.udpBind[dhcp4.ClientPort] = func(_ netip.Addr, _ uint16, _ netip.Addr, payload []byte) {
 		if msg, err := dhcp4.Parse(payload); err == nil {
 			h.handleDHCPReply(msg)
 		}
 	}
+	h.sendDiscover()
+	h.armDHCPRetry()
+	h.logf("dhcp discover (xid %#x, option108=%v)", h.dhcp.xid, h.B.SupportsRFC8925)
+}
+
+// sendDiscover broadcasts the DISCOVER for the current transaction.
+func (h *Host) sendDiscover() {
 	msg := dhcp4.NewMessage(dhcp4.OpRequest, h.dhcp.xid, h.NIC.MAC())
 	msg.SetType(dhcp4.Discover)
 	msg.Broadcast = true
@@ -55,7 +85,77 @@ func (h *Host) dhcpStart() {
 	msg.Options[dhcp4.OptParamRequestList] = prl
 	msg.Options[dhcp4.OptHostname] = []byte(strings.ReplaceAll(h.name, " ", "-"))
 	h.sendDHCP(msg)
-	h.logf("dhcp discover (xid %#x, option108=%v)", h.dhcp.xid, h.B.SupportsRFC8925)
+}
+
+// sendRequest broadcasts the REQUEST for the offer recorded in
+// h.dhcp.reqAddr/serverID.
+func (h *Host) sendRequest() {
+	req := dhcp4.NewMessage(dhcp4.OpRequest, h.dhcp.xid, h.NIC.MAC())
+	req.SetType(dhcp4.Request)
+	req.Broadcast = true
+	req.SetIPv4Option(dhcp4.OptRequestedIP, h.dhcp.reqAddr)
+	req.SetIPv4Option(dhcp4.OptServerID, h.dhcp.serverID)
+	if h.B.SupportsRFC8925 {
+		req.Options[dhcp4.OptParamRequestList] = []byte{dhcp4.OptIPv6OnlyPreferred}
+	}
+	h.sendDHCP(req)
+}
+
+// armDHCPRetry schedules the next retransmission for the in-flight
+// DISCOVER/REQUEST with RFC 2131 exponential backoff. The timer is a
+// no-op once the exchange completes (bound/v6only), so on a healthy
+// LAN the schedule never transmits anything.
+func (h *Host) armDHCPRetry() {
+	h.stopDHCPRetry()
+	delay := dhcpRetryCap
+	if h.dhcp.attempt < 4 {
+		delay = dhcpRetryBase << h.dhcp.attempt
+	}
+	h.dhcp.retryTimer = h.Net.Clock.AfterFunc(delay, h.dhcpRetransmit)
+}
+
+func (h *Host) stopDHCPRetry() {
+	if h.dhcp.retryTimer != nil {
+		h.dhcp.retryTimer.Stop()
+		h.dhcp.retryTimer = nil
+	}
+}
+
+// dhcpRetransmit resends the message the client is waiting on. Lost
+// REQUESTs eventually fall back to a new DISCOVER (the offer may have
+// been forgotten — e.g. the gateway rebooted); lost renewals fall back
+// likewise so the client re-acquires a lease instead of wedging.
+func (h *Host) dhcpRetransmit() {
+	switch h.dhcp.state {
+	case "selecting":
+		h.dhcp.attempt++
+		if h.dhcp.attempt > dhcpMaxDiscoverTries {
+			// Bound the self-rearming schedule: a LAN with no DHCP
+			// service at all stays quiet instead of beaconing forever.
+			h.logf("dhcp gave up after %d discovers", h.dhcp.attempt)
+			return
+		}
+		h.dhcp.Retransmits++
+		h.logf("dhcp discover retransmit #%d", h.dhcp.attempt)
+		h.sendDiscover()
+		h.armDHCPRetry()
+	case "requesting", "renewing":
+		h.dhcp.attempt++
+		if h.dhcp.attempt >= dhcpMaxRequestTries {
+			h.logf("dhcp request abandoned after %d tries; rediscovering", h.dhcp.attempt)
+			h.dhcpStart()
+			return
+		}
+		h.dhcp.Retransmits++
+		h.logf("dhcp request retransmit #%d", h.dhcp.attempt)
+		if h.dhcp.state == "renewing" {
+			h.sendRenewRequest()
+		} else {
+			h.sendRequest()
+		}
+		h.armDHCPRetry()
+	}
+	// bound / v6only / "": the exchange completed; stale timer, no-op.
 }
 
 // sendDHCP broadcasts a client message from 0.0.0.0:68 to 255.255.255.255:67.
@@ -86,6 +186,7 @@ func (h *Host) handleDHCPReply(msg *dhcp4.Message) {
 			h.v6OnlyUntil = h.Net.Clock.Now().Add(wait)
 			h.dhcp.state = "v6only"
 			h.v4Addr = netip.Addr{}
+			h.stopDHCPRetry()
 			h.logf("dhcp offer has option 108: IPv6-only for %v", wait)
 			if h.B.HasCLAT {
 				h.startCLAT()
@@ -94,22 +195,19 @@ func (h *Host) handleDHCPReply(msg *dhcp4.Message) {
 		}
 		sid, _ := msg.IPv4Option(dhcp4.OptServerID)
 		h.dhcp.serverID = sid
+		h.dhcp.reqAddr = msg.YIAddr
 		h.dhcp.state = "requesting"
-		req := dhcp4.NewMessage(dhcp4.OpRequest, h.dhcp.xid, h.NIC.MAC())
-		req.SetType(dhcp4.Request)
-		req.Broadcast = true
-		req.SetIPv4Option(dhcp4.OptRequestedIP, msg.YIAddr)
-		req.SetIPv4Option(dhcp4.OptServerID, sid)
-		if h.B.SupportsRFC8925 {
-			req.Options[dhcp4.OptParamRequestList] = []byte{dhcp4.OptIPv6OnlyPreferred}
-		}
-		h.sendDHCP(req)
+		h.dhcp.attempt = 0
+		h.sendRequest()
+		h.armDHCPRetry()
 	case dhcp4.ACK:
 		if h.dhcp.state != "requesting" && h.dhcp.state != "renewing" {
 			return
 		}
 		renewed := h.dhcp.state == "renewing"
 		h.dhcp.state = "bound"
+		h.dhcp.attempt = 0
+		h.stopDHCPRetry()
 		h.v4Addr = msg.YIAddr
 		if lt, ok := msg.Options[dhcp4.OptLeaseTime]; ok && len(lt) == 4 {
 			secs := uint32(lt[0])<<24 | uint32(lt[1])<<16 | uint32(lt[2])<<8 | uint32(lt[3])
@@ -161,6 +259,13 @@ func (h *Host) dhcpRenew() {
 		return
 	}
 	h.dhcp.state = "renewing"
+	h.dhcp.attempt = 0
+	h.sendRenewRequest()
+	h.armDHCPRetry()
+}
+
+// sendRenewRequest emits the renewal REQUEST for the bound address.
+func (h *Host) sendRenewRequest() {
 	req := dhcp4.NewMessage(dhcp4.OpRequest, h.dhcp.xid, h.NIC.MAC())
 	req.SetType(dhcp4.Request)
 	req.CIAddr = h.v4Addr
@@ -169,6 +274,9 @@ func (h *Host) dhcpRenew() {
 
 // DHCPRenewals reports how many T1 renewals completed.
 func (h *Host) DHCPRenewals() int { return h.dhcp.Renewals }
+
+// DHCPRetransmits reports how many DISCOVER/REQUEST resends occurred.
+func (h *Host) DHCPRetransmits() int { return h.dhcp.Retransmits }
 
 // bestCLATSource picks the host's best translation source: a GUA when
 // one exists (carriers and the testbed's gateway drop ULA-sourced

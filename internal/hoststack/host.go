@@ -12,11 +12,20 @@ import (
 	"repro/internal/rfc6724"
 )
 
-// V6Addr is one configured IPv6 address with its covering prefix.
+// V6Addr is one configured IPv6 address with its covering prefix and
+// RFC 4862 lifetime state. Statically configured addresses carry zero
+// deadlines and never age out; SLAAC addresses track the PIO lifetimes
+// of the advertising router, so a renumbering event (a PIO with
+// PreferredLifetime 0, as the rebooted 5G gateway sends for its stale
+// /64) deprecates them and lets them expire.
 type V6Addr struct {
 	Addr       netip.Addr
 	Prefix     netip.Prefix
 	Deprecated bool
+	// PreferredUntil / ValidUntil are the RFC 4862 lifetime deadlines;
+	// zero values mean the address never deprecates / never expires.
+	PreferredUntil time.Time
+	ValidUntil     time.Time
 }
 
 // routerEntry is a learned default router.
@@ -156,6 +165,12 @@ func (h *Host) IPv6GlobalAddrs() []netip.Addr {
 		out = append(out, a.Addr)
 	}
 	return out
+}
+
+// V6Addresses returns a copy of the host's configured IPv6 addresses
+// with their deprecation and lifetime state (link-local excluded).
+func (h *Host) V6Addresses() []V6Addr {
+	return append([]V6Addr(nil), h.v6Addrs...)
 }
 
 // LinkLocal returns the host's fe80:: address (invalid if IPv6 is off).

@@ -2,6 +2,7 @@ package hoststack
 
 import (
 	"net/netip"
+	"time"
 
 	"repro/internal/ndp"
 	"repro/internal/netsim"
@@ -262,6 +263,7 @@ func (h *Host) processRA(src netip.Addr, ra *ndp.RouterAdvert) {
 			h.logf("default router %v (%s preference)", src, ra.Preference)
 		}
 	}
+	h.expireV6Addrs(now)
 	for _, pi := range ra.Prefixes {
 		if !pi.Autonomous || pi.Prefix.Bits() != 64 || pi.ValidLifetime == 0 {
 			continue
@@ -272,13 +274,39 @@ func (h *Host) processRA(src netip.Addr, ra *ndp.RouterAdvert) {
 		}
 		exists := false
 		for i := range h.v6Addrs {
-			if h.v6Addrs[i].Addr == addr {
-				exists = true
-				break
+			if h.v6Addrs[i].Addr != addr {
+				continue
 			}
+			exists = true
+			// RFC 4862 §5.5.3: refresh the lifetimes from the PIO. A
+			// PreferredLifetime of 0 deprecates the address at once —
+			// the renumbering signal a rebooted gateway sends for its
+			// stale /64 — while a positive one un-deprecates it.
+			h.v6Addrs[i].ValidUntil = now.Add(pi.ValidLifetime)
+			if pi.PreferredLifetime == 0 {
+				if !h.v6Addrs[i].Deprecated {
+					h.v6Addrs[i].Deprecated = true
+					h.logf("deprecated %v (PIO preferred lifetime 0)", addr)
+					h.refreshCLATSource()
+				}
+			} else {
+				if h.v6Addrs[i].Deprecated {
+					h.v6Addrs[i].Deprecated = false
+					h.logf("re-preferred %v", addr)
+				}
+				h.v6Addrs[i].PreferredUntil = now.Add(pi.PreferredLifetime)
+			}
+			break
 		}
-		if !exists {
-			h.v6Addrs = append(h.v6Addrs, V6Addr{Addr: addr, Prefix: pi.Prefix})
+		if !exists && pi.PreferredLifetime > 0 {
+			// Never form an address from an already-deprecated prefix:
+			// a freshly joining client must not SLAAC the rebooted
+			// gateway's stale /64.
+			h.v6Addrs = append(h.v6Addrs, V6Addr{
+				Addr: addr, Prefix: pi.Prefix,
+				PreferredUntil: now.Add(pi.PreferredLifetime),
+				ValidUntil:     now.Add(pi.ValidLifetime),
+			})
 			h.logf("slaac %v (from RA by %v)", addr, src)
 			h.refreshCLATSource()
 		}
@@ -304,6 +332,32 @@ func (h *Host) processRA(src netip.Addr, ra *ndp.RouterAdvert) {
 				h.logf("rdnss %v", server)
 			}
 		}
+	}
+}
+
+// expireV6Addrs ages the SLAAC address list: addresses past their
+// preferred deadline become deprecated (losing RFC 6724 rule-3 ties),
+// addresses past their valid deadline are removed. Zero deadlines
+// (static configuration) never age. Run lazily from processRA, so the
+// list ages exactly when new router information arrives.
+func (h *Host) expireV6Addrs(now time.Time) {
+	kept := h.v6Addrs[:0]
+	for _, a := range h.v6Addrs {
+		if !a.ValidUntil.IsZero() && !a.ValidUntil.After(now) {
+			h.logf("addr %v valid lifetime expired", a.Addr)
+			continue
+		}
+		if !a.Deprecated && !a.PreferredUntil.IsZero() && !a.PreferredUntil.After(now) {
+			a.Deprecated = true
+			h.logf("deprecated %v (preferred lifetime expired)", a.Addr)
+		}
+		kept = append(kept, a)
+	}
+	if len(kept) < len(h.v6Addrs) {
+		h.v6Addrs = kept
+		h.refreshCLATSource()
+	} else {
+		h.v6Addrs = kept
 	}
 }
 

@@ -17,6 +17,13 @@ var ErrNameNotFound = errors.New("hoststack: name not found")
 // dnsQueryTimeout bounds one resolver round trip (virtual time).
 const dnsQueryTimeout = 3 * time.Second
 
+// dnsRetryRounds is how many passes Lookup makes over the full resolver
+// list before giving up, res_send-style: the per-query timeout doubles
+// each round (3s, 6s, 12s). Later rounds run only when the previous one
+// failed on timeouts — a terminal answer (NXDOMAIN, refused) ends the
+// walk, so healthy worlds never see a retry.
+const dnsRetryRounds = 3
+
 // nextDNSID returns a fresh DNS message ID. Per-host sequencing (rather
 // than a package global) keeps concurrently simulated worlds
 // deterministic; IDs only need to be unique among this host's own
@@ -48,12 +55,16 @@ func (h *Host) Resolvers() []netip.Addr {
 // QueryDNS sends one DNS query to a specific server and returns the
 // parsed response (nslookup with an explicit server).
 func (h *Host) QueryDNS(server netip.Addr, name string, qtype uint16) (*dnswire.Message, error) {
+	return h.queryDNSTimeout(server, name, qtype, dnsQueryTimeout)
+}
+
+func (h *Host) queryDNSTimeout(server netip.Addr, name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
 	q := dnswire.NewQuery(h.nextDNSID(), name, qtype)
 	wire, err := q.Marshal()
 	if err != nil {
 		return nil, err
 	}
-	raw, err := h.Query(server, 53, wire, dnsQueryTimeout)
+	raw, err := h.Query(server, 53, wire, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +102,10 @@ func (r LookupResult) BestAddr() (netip.Addr, bool) {
 // Lookup resolves name the way the host's OS would: walk the resolver
 // list, apply the suffix search list (suffixed candidate first, as
 // Windows nslookup does), query A and/or AAAA per enabled stacks, and
-// order the results per RFC 6724.
+// order the results per RFC 6724. A walk that failed only on timeouts
+// is retried with exponentially increasing per-query timeouts
+// (dnsRetryRounds), so one lost datagram on an impaired link does not
+// become a permanent resolution failure.
 func (h *Host) Lookup(name string) (LookupResult, error) {
 	resolvers := h.Resolvers()
 	if len(resolvers) == 0 {
@@ -99,16 +113,38 @@ func (h *Host) Lookup(name string) (LookupResult, error) {
 	}
 	candidates := h.searchCandidates(name)
 	var lastErr error
+	timeout := dnsQueryTimeout
+	for round := 0; round < dnsRetryRounds; round++ {
+		res, sawTimeout, err := h.lookupRound(resolvers, candidates, timeout)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !sawTimeout {
+			break // terminal failure: retrying cannot change the answer
+		}
+		timeout *= 2
+	}
+	return LookupResult{}, lastErr
+}
+
+// lookupRound makes one pass over the resolver list. It reports whether
+// any failure in the round was a timeout (the signal that another round
+// with a longer timeout is worth trying).
+func (h *Host) lookupRound(resolvers []netip.Addr, candidates []string, timeout time.Duration) (LookupResult, bool, error) {
+	var lastErr error
+	sawTimeout := false
 	for _, server := range resolvers {
 		if _, ok := h.srcFor(server); !ok {
 			lastErr = fmt.Errorf("hoststack: resolver %v unreachable (no source address)", server)
 			continue
 		}
 		for i, cand := range candidates {
-			addrs, err := h.lookupOnce(server, cand)
+			addrs, err := h.lookupOnce(server, cand, timeout)
 			if err != nil {
 				lastErr = err
 				if errors.Is(err, ErrTimeout) {
+					sawTimeout = true
 					break // dead server: move to the next resolver
 				}
 				continue
@@ -122,13 +158,13 @@ func (h *Host) Lookup(name string) (LookupResult, error) {
 				Addrs:         h.orderDestinations(addrs),
 				Resolver:      server,
 				SuffixApplied: len(candidates) == 2 && i == 1,
-			}, nil
+			}, false, nil
 		}
 	}
 	if lastErr == nil {
 		lastErr = ErrNameNotFound
 	}
-	return LookupResult{}, lastErr
+	return LookupResult{}, sawTimeout, lastErr
 }
 
 // searchCandidates expands name through the DNS suffix search list. The
@@ -193,7 +229,7 @@ func (h *Host) NSLookup(name string, qtype uint16) (NSLookupResult, error) {
 
 // lookupOnce queries one server for the record types the enabled stacks
 // can use and returns every address found (unordered).
-func (h *Host) lookupOnce(server netip.Addr, name string) ([]netip.Addr, error) {
+func (h *Host) lookupOnce(server netip.Addr, name string, timeout time.Duration) ([]netip.Addr, error) {
 	var addrs []netip.Addr
 	sawAnswer := false
 	var firstErr error
@@ -202,7 +238,7 @@ func (h *Host) lookupOnce(server netip.Addr, name string) ([]netip.Addr, error) 
 	wantA := h.v4Addr.IsValid() || h.clat != nil || h.B.IPv4Enabled
 
 	if wantAAAA {
-		resp, err := h.QueryDNS(server, name, dnswire.TypeAAAA)
+		resp, err := h.queryDNSTimeout(server, name, dnswire.TypeAAAA, timeout)
 		if err != nil {
 			firstErr = err
 		} else if resp.Rcode == dnswire.RcodeSuccess {
@@ -215,7 +251,7 @@ func (h *Host) lookupOnce(server netip.Addr, name string) ([]netip.Addr, error) 
 		}
 	}
 	if wantA {
-		resp, err := h.QueryDNS(server, name, dnswire.TypeA)
+		resp, err := h.queryDNSTimeout(server, name, dnswire.TypeA, timeout)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -100,6 +100,17 @@ func (t *Translator) SetPortRange(min, max uint16) error {
 	return nil
 }
 
+// FlushSessions drops every binding at once — the effect of a gateway
+// power cycle on translator state. The port cursor survives, as does
+// the compliance Log (M-21-31 translation records are exported off-box,
+// not kept in translator RAM): external peers may hold connection state
+// keyed by pre-flush ports, so those ports are not reused until the
+// pool wraps.
+func (t *Translator) FlushSessions() {
+	clear(t.outbound)
+	clear(t.inbound)
+}
+
 // SessionCount returns the number of live sessions.
 func (t *Translator) SessionCount() int {
 	n := 0

@@ -130,6 +130,17 @@ func New(cfg Config, now func() time.Time) (*Translator, error) {
 // Config returns the active configuration.
 func (t *Translator) Config() Config { return t.cfg }
 
+// FlushSessions drops every binding at once — the effect of a gateway
+// power cycle on translator state. The port cursor is NOT reset:
+// external peers may hold connection state keyed by pre-flush ports for
+// minutes, so reusing those ports immediately would splice new sessions
+// into dead peer connections (RFC 6146 §3.5.1.1 recommends not reusing
+// a port while the peer may still associate it with the old session).
+func (t *Translator) FlushSessions() {
+	clear(t.outbound)
+	clear(t.inbound)
+}
+
 // SessionCount returns the number of live (unexpired) sessions.
 func (t *Translator) SessionCount() int {
 	n := 0

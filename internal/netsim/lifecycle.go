@@ -36,6 +36,10 @@ func (n *Network) Reset() {
 	n.frames = 0
 	n.dropped = 0
 	n.queuePeak = 0
+	n.impairLost = 0
+	n.impairDuplicated = 0
+	n.impairReordered = 0
+	n.impairFlapDropped = 0
 	n.arena.recycle()
 	n.Clock.reset()
 }

@@ -4,6 +4,16 @@
 // links or through learning switches; all activity is driven by a virtual
 // clock so tests involving lease or session expiry run instantly and
 // deterministically.
+//
+// A Network runs until Stop, after which every transmission and timer
+// arming becomes a silent no-op — worlds can be torn down mid-flight
+// without draining queues. Per-NIC fault injection is declarative: set
+// an Impairment (loss, duplication, windowed reorder, jitter, scheduled
+// flaps) with SetImpairment and the NIC's traffic degrades according to
+// PRNG streams derived from the seed alone, so an impaired run replays
+// bit-identically and shards across worlds without divergence. Stats
+// aggregates fabric counters, including the impairment drop/dup/reorder
+// tallies.
 package netsim
 
 import "fmt"

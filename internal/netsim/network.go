@@ -56,6 +56,12 @@ type Network struct {
 	dropped   uint64 // frames with no peer
 	queuePeak int
 
+	// Fault-injection counters (see Impairment).
+	impairLost        uint64
+	impairDuplicated  uint64
+	impairReordered   uint64
+	impairFlapDropped uint64
+
 	// stopped marks a fabric that has been shut down with Stop: pending
 	// work is discarded and new scheduling becomes a no-op until Reset.
 	stopped bool
@@ -230,6 +236,13 @@ type Stats struct {
 	ArenaChunksReused    uint64
 	// OversizedPayloads counts payloads too large for the arena.
 	OversizedPayloads uint64
+	// FramesImpairLost / FramesImpairDuplicated / FramesImpairReordered
+	// / FramesImpairFlapDropped count fault-injection outcomes on
+	// impaired links (see Impairment).
+	FramesImpairLost        uint64
+	FramesImpairDuplicated  uint64
+	FramesImpairReordered   uint64
+	FramesImpairFlapDropped uint64
 }
 
 // Stats returns the current hot-path counters.
@@ -250,6 +263,11 @@ func (n *Network) Stats() Stats {
 		ArenaChunksAllocated: n.arena.chunksNew,
 		ArenaChunksReused:    n.arena.chunksReused,
 		OversizedPayloads:    n.arena.oversized,
+
+		FramesImpairLost:        n.impairLost,
+		FramesImpairDuplicated:  n.impairDuplicated,
+		FramesImpairReordered:   n.impairReordered,
+		FramesImpairFlapDropped: n.impairFlapDropped,
 	}
 }
 

@@ -12,6 +12,10 @@ type NIC struct {
 
 	up bool
 
+	// impair, when non-nil, subjects this NIC's traffic to fault
+	// injection (see Impairment and SetImpairment).
+	impair *impairState
+
 	txFrames uint64
 	rxFrames uint64
 	txBytes  uint64
@@ -50,6 +54,19 @@ func (nc *NIC) Transmit(f Frame) {
 	peer := nc.peer
 	if peer == nil {
 		nc.net.dropped++
+		return
+	}
+	// Fault injection, when attached: the sender's own impairment
+	// covers all its frames via the tx stream; a pristine sender
+	// delivering unicast *to* an impaired NIC consults that NIC's rx
+	// stream. Broadcast/multicast toward an impaired receiver stays on
+	// the fast path (see SetImpairment for why).
+	if nc.impair != nil {
+		nc.transmitImpaired(peer, f, nc.impair, &nc.impair.tx)
+		return
+	}
+	if peer.impair != nil && f.Dst == peer.mac {
+		nc.transmitImpaired(peer, f, peer.impair, &peer.impair.rx)
 		return
 	}
 	p := nc.net.arena.alloc(len(f.Payload))

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// TestChaosShardedMatchesSerial is the chaos shard-equality property
+// test: for seeds 1..5 and K ∈ {2, 8}, an impaired, churned population
+// produces the same merged report sharded as it does serially. The
+// per-client impairment streams are seeded from client names and churn
+// is per-device trials, so neither depends on which world a device
+// lands in.
+func TestChaosShardedMatchesSerial(t *testing.T) {
+	const n = 16
+	opt := RunOptions{RebootsPerDevice: 1, ConvergeTimeout: 30 * time.Second}
+	for seed := int64(1); seed <= 5; seed++ {
+		devices := Population(seed, n, DefaultMix())
+		spec := ChaosSpec(seed, n, 0, 0.10, 0)
+		fac := testbed.Factory{Spec: spec}
+
+		world, err := fac.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serial := RunWith(world, devices, opt)
+		world.Close()
+
+		if len(serial.Convergence) == 0 {
+			t.Fatalf("seed %d: churned run produced no convergence data", seed)
+		}
+
+		for _, k := range []int{2, 8} {
+			t.Run(fmt.Sprintf("seed%d/k%d", seed, k), func(t *testing.T) {
+				sharded, err := RunSharded(fac.Build, devices, ShardOptions{
+					Shards: k, Seed: seed, Run: opt,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertReportsMatch(t, serial, sharded)
+			})
+		}
+	}
+}
+
+// TestChaosZeroImpairmentIsLegacy pins the acceptance criterion that a
+// chaos-capable engine with every knob off reproduces the classic Run
+// byte for byte: same topology, same population, same report.
+func TestChaosZeroImpairmentIsLegacy(t *testing.T) {
+	const n = 12
+	devices := Population(3, n, DefaultMix())
+	fac := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), n)}
+
+	w1, err := fac.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := Run(w1, devices)
+	w1.Close()
+
+	w2, err := fac.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosOff := RunWith(w2, devices, RunOptions{})
+	w2.Close()
+
+	assertReportsMatch(t, legacy, chaosOff)
+	if legacy.HealthyQueries != chaosOff.HealthyQueries {
+		t.Errorf("HealthyQueries: legacy=%d chaos-off=%d",
+			legacy.HealthyQueries, chaosOff.HealthyQueries)
+	}
+	if chaosOff.Convergence != nil {
+		t.Error("zero-churn run grew a Convergence map")
+	}
+}
+
+// TestChaosSweepSmoke runs a tiny 2×2 grid end to end and checks the
+// rendered matrix is deterministic across repeat sweeps.
+func TestChaosSweepSmoke(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:            1,
+		N:               6,
+		LossLevels:      []float64{0, 0.20},
+		RebootLevels:    []int{0, 1},
+		Shards:          2,
+		ConvergeTimeout: 30 * time.Second,
+	}
+	m, err := ChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(m.Cells))
+	}
+	out := m.String()
+	if !strings.Contains(out, "degradation matrix") || !strings.Contains(out, "reconverged") {
+		t.Errorf("matrix rendering:\n%s", out)
+	}
+	// The pristine cell must report full internet+informed coverage ==
+	// population (nobody silently dropped).
+	if got := m.Cells[0].Report.InternetOK + m.Cells[0].Report.Informed; got > cfg.N {
+		t.Errorf("pristine cell outcomes %d exceed population %d", got, cfg.N)
+	}
+
+	m2, err := ChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 := m2.String(); out2 != out {
+		t.Errorf("sweep not deterministic:\n--- first\n%s--- second\n%s", out, out2)
+	}
+	if b1, b2 := m.ClassBreakdown(), m2.ClassBreakdown(); b1 != b2 {
+		t.Errorf("class breakdown not deterministic:\n--- first\n%s--- second\n%s", b1, b2)
+	}
+}

@@ -5,6 +5,18 @@
 // is the "IPv6-only client count" with and without the IPv4 DNS
 // intervention, and how IPv4-literal applications (Fig. 2's Echolink
 // station) pollute the statistic either way.
+//
+// Run brings a population up serially on one world; RunSharded splits
+// it across K independently built worlds (a testbed.Factory supplies
+// them) and folds the per-shard reports with MergeReports — on a
+// position-independent topology the merged aggregates equal the serial
+// run's exactly, which the tests pin byte for byte. RunOptions layers
+// fault injection on either engine: per-device gateway reboots with
+// re-convergence probing, over link impairment carried by the world's
+// topology spec. ChaosSweep drives the full loss × churn grid and
+// renders the outcome as a DegradationMatrix whose String output
+// contains only counters and virtual-clock durations, so the chaos
+// experiment's text is reproducible verbatim.
 package scenario
 
 import (
@@ -108,6 +120,17 @@ type DeviceResult struct {
 	Informed bool // landed on the intervention page
 	Internet bool // reached real content
 	UsedIPv6 bool // the successful path was IPv6
+
+	// Churned reports whether this device went through a reboot trial
+	// (chaos runs with RunOptions.RebootsPerDevice > 0 probe only
+	// devices whose initial workload had a definitive outcome).
+	Churned bool
+	// Reconverged reports whether the device re-established a working
+	// outcome after the reboot storm within ConvergeTimeout.
+	Reconverged bool
+	// ConvergeTime is the virtual time from the last reboot until the
+	// device's workload succeeded again (meaningful when Reconverged).
+	ConvergeTime time.Duration
 }
 
 // Report aggregates a scenario run.
@@ -155,13 +178,102 @@ type Report struct {
 	PoisonLog  *dns.QueryLog
 	HealthyLog *dns.QueryLog
 
+	// Convergence aggregates re-convergence after reboot churn by
+	// traffic class (nil unless the run used RebootsPerDevice > 0).
+	// Every field merges associatively across shards: counts sum, the
+	// worst-case time takes the max.
+	Convergence map[metrics.Class]ClassConvergence
+
 	// Shards describes how the run was partitioned (nil for serial Run).
 	Shards []ShardInfo
+}
+
+// ClassConvergence summarizes how one traffic class weathered reboot
+// churn. Devices counts only devices that had a working outcome before
+// the churn trial (a device that never worked has nothing to re-converge
+// to and is excluded).
+type ClassConvergence struct {
+	Devices     int
+	Reconverged int
+	// MaxTime is the worst per-device virtual re-convergence time;
+	// TotalTime sums them (mean = TotalTime / Reconverged).
+	MaxTime   time.Duration
+	TotalTime time.Duration
+}
+
+// RunOptions parameterizes a chaos run. The zero value reproduces the
+// classic Run behaviour exactly.
+type RunOptions struct {
+	// RebootsPerDevice injects that many gateway reboots after each
+	// device's workload, then probes until the device re-establishes a
+	// working outcome. Reboots are per-device trials rather than
+	// wall-schedule events so a sharded run — where each shard's world
+	// reboots on its own devices — aggregates to the same report as the
+	// serial run (see testbed.ChurnSpec for the absolute-time variant).
+	RebootsPerDevice int
+	// ConvergeTimeout bounds the virtual time a device is given to
+	// re-converge after the reboot storm (default 60s).
+	ConvergeTimeout time.Duration
+}
+
+// DefaultConvergeTimeout bounds post-reboot probing when
+// RunOptions.ConvergeTimeout is zero.
+const DefaultConvergeTimeout = 60 * time.Second
+
+// beaconPhase is the period of the world's unsolicited RA beacons (the
+// gateway's and the managed switch's, both 10s by default). Chaos runs
+// align each device trial to this grid: a client whose router
+// solicitation is lost falls back to the next periodic beacon, so its
+// outcome depends on the beacon phase at join time. Aligning trial
+// starts makes that phase a constant, which is what keeps impaired
+// runs position-independent — the precondition for serial ≡ sharded
+// reports. Topologies that override RAInterval off the 10s grid are
+// outside the chaos shard-equality contract.
+const beaconPhase = 10 * time.Second
+
+// alignToBeaconPhase advances the world's virtual clock to the next
+// beacon-grid boundary. All worlds share one clock epoch, so "the
+// grid" is the same in every world a sharded run builds.
+func alignToBeaconPhase(tb *testbed.Testbed) {
+	rem := time.Duration(tb.Net.Clock.Now().UnixNano()) % beaconPhase
+	if rem != 0 {
+		tb.Net.RunFor(beaconPhase - rem)
+	}
 }
 
 // Run executes the workload for each device on a fresh client attached
 // to tb and returns the aggregate report.
 func Run(tb *testbed.Testbed, devices []DeviceSpec) *Report {
+	return RunWith(tb, devices, RunOptions{})
+}
+
+// attempt runs one device workload pass and reports the outcome.
+func attempt(c *hoststack.Host, spec DeviceSpec) (informed, internet, usedV6 bool) {
+	if spec.EcholinkOnly {
+		resp, err := c.Query(testbed.EcholinkV4, testbed.EcholinkPort, []byte("cq"), time.Second)
+		return false, err == nil && len(resp) > 0, false
+	}
+	r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+	switch {
+	case err != nil:
+		return false, false, false // no connectivity at all
+	case strings.Contains(string(r.Response.Body), portal.IP6MeBody):
+		return true, false, false
+	default:
+		return false, true, r.UsedAddr.Is6()
+	}
+}
+
+// RunWith executes the workload for each device, optionally wrapping
+// every device in a reboot-churn trial, and returns the aggregate
+// report. With churn enabled each trial is: join → workload → sample
+// translator-state deltas → RebootsPerDevice gateway reboots →
+// re-converge probe (repeat the workload with exponential virtual
+// backoff until it succeeds or ConvergeTimeout lapses) → cleanup
+// reboots that flush translator state and realign the GUA rotation, so
+// the next device starts from the same world conditions regardless of
+// which shard or position it runs in.
+func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report {
 	mon := metrics.NewSSIDMonitor()
 	mon.Exclude(tb.Gateway.LANNIC().MAC())
 	mon.Exclude(tb.HealthyPi.MAC())
@@ -169,25 +281,45 @@ func Run(tb *testbed.Testbed, devices []DeviceSpec) *Report {
 	mon.Exclude(tb.DHCPPi.MAC())
 	tb.Switch.AddFilter(mon.Filter())
 
+	churn := opt.RebootsPerDevice > 0
+	convergeTimeout := opt.ConvergeTimeout
+	if convergeTimeout <= 0 {
+		convergeTimeout = DefaultConvergeTimeout
+	}
+
+	// Impaired or churned trials are aligned to the beacon grid; with
+	// every knob off the classic run is reproduced untouched.
+	align := churn || tb.Spec.Impair.Enabled()
+
 	rep := &Report{Joined: len(devices)}
 	for _, spec := range devices {
+		if align {
+			alignToBeaconPhase(tb)
+		}
+		nat44Before := len(tb.Gateway.NAT44.Log)
+		nat64Before := tb.Gateway.NAT64.SessionCount()
+
 		c := tb.AddClient(spec.Name, spec.Profile)
 		dr := DeviceResult{Spec: spec}
-		if spec.EcholinkOnly {
-			resp, err := c.Query(testbed.EcholinkV4, testbed.EcholinkPort, []byte("cq"), time.Second)
-			dr.Internet = err == nil && len(resp) > 0
-		} else {
-			r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/")
-			switch {
-			case err != nil:
-				// no connectivity at all
-			case strings.Contains(string(r.Response.Body), portal.IP6MeBody):
-				dr.Informed = true
-			default:
-				dr.Internet = true
-				dr.UsedIPv6 = r.UsedAddr.Is6()
+		dr.Informed, dr.Internet, dr.UsedIPv6 = attempt(c, spec)
+
+		if churn {
+			// Sample this device's translator footprint before reboots
+			// wipe it, so per-device deltas sum identically across any
+			// shard partition.
+			rep.NAT44LogEntries += len(tb.Gateway.NAT44.Log) - nat44Before
+			rep.NAT64Sessions += tb.Gateway.NAT64.SessionCount() - nat64Before
+
+			if dr.Informed || dr.Internet {
+				dr.Churned = true
+				for i := 0; i < opt.RebootsPerDevice; i++ {
+					tb.Gateway.Reboot()
+				}
+				dr.Reconverged, dr.ConvergeTime = probeConvergence(tb, c, spec, convergeTimeout)
 			}
+			cleanupReboots(tb)
 		}
+
 		dr.Class = mon.ClassOf(c.MAC())
 		if dr.Internet {
 			rep.InternetOK++
@@ -208,18 +340,75 @@ func Run(tb *testbed.Testbed, devices []DeviceSpec) *Report {
 		}
 	}
 	rep.Overcount = rep.ReportedSSIDClients - rep.TrueIPv6Only
-	rep.NAT44LogEntries = len(tb.Gateway.NAT44.Log)
-	rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
+	if !churn {
+		// Translator state survives the whole run: read the totals once.
+		rep.NAT44LogEntries = len(tb.Gateway.NAT44.Log)
+		rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
+	}
 
 	rep.Classes = make(map[metrics.Class]int)
 	for _, dr := range rep.Devices {
 		rep.Classes[dr.Class]++
+	}
+	if churn {
+		rep.Convergence = make(map[metrics.Class]ClassConvergence)
+		for _, dr := range rep.Devices {
+			if !dr.Churned {
+				continue
+			}
+			cc := rep.Convergence[dr.Class]
+			cc.Devices++
+			if dr.Reconverged {
+				cc.Reconverged++
+				cc.TotalTime += dr.ConvergeTime
+				if dr.ConvergeTime > cc.MaxTime {
+					cc.MaxTime = dr.ConvergeTime
+				}
+			}
+			rep.Convergence[dr.Class] = cc
+		}
 	}
 	rep.PoisonLog = tb.PoisonLog
 	rep.HealthyLog = tb.HealthyLog
 	rep.PoisonedQueries = tb.PoisonLog.Len()
 	rep.HealthyQueries = tb.HealthyLog.Len()
 	return rep
+}
+
+// probeConvergence re-runs the device workload with exponential virtual
+// backoff until it succeeds or the timeout lapses, returning the
+// virtual time from the last reboot to the first success.
+func probeConvergence(tb *testbed.Testbed, c *hoststack.Host, spec DeviceSpec, timeout time.Duration) (bool, time.Duration) {
+	start := tb.Net.Clock.Now()
+	// Let the post-reboot RA reach the LAN before the first attempt.
+	tb.Net.RunFor(50 * time.Millisecond)
+	backoff := time.Second
+	for {
+		informed, internet, _ := attempt(c, spec)
+		if informed || internet {
+			return true, tb.Net.Clock.Now().Sub(start)
+		}
+		if elapsed := tb.Net.Clock.Now().Sub(start); elapsed+backoff > timeout {
+			return false, 0
+		}
+		tb.Net.RunFor(backoff)
+		backoff *= 2
+	}
+}
+
+// cleanupReboots flushes per-trial translator state and realigns the
+// gateway to the first GUA prefix, so every device trial starts from
+// identical world conditions — the invariant behind serial ≡ sharded
+// reports under churn.
+func cleanupReboots(tb *testbed.Testbed) {
+	rotation := len(tb.Spec.Gateway.GUAPrefixes)
+	tb.Gateway.Reboot()
+	for rotation > 0 && tb.Gateway.RebootCount()%rotation != 0 {
+		tb.Gateway.Reboot()
+	}
+	// Let the final RA propagate so the next client SLAACs the realigned
+	// prefix immediately.
+	tb.Net.RunFor(50 * time.Millisecond)
 }
 
 // AdoptionMix returns DefaultMix with the given fraction (0..1) of the

@@ -41,6 +41,9 @@ type ShardOptions struct {
 	// the population was drawn with so the whole run is reproducible
 	// from one number.
 	Seed int64
+	// Run carries per-device chaos options into every shard's world
+	// (zero value = the classic workload).
+	Run RunOptions
 }
 
 // ShardInfo records one shard of a partitioned run.
@@ -126,7 +129,7 @@ func RunSharded(factory WorldFactory, devices []DeviceSpec, opt ShardOptions) (*
 					errs[i] = fmt.Errorf("scenario: shard %d: building world: %w", i, err)
 					continue
 				}
-				reports[i] = Run(tb, shards[i].Devices)
+				reports[i] = RunWith(tb, shards[i].Devices, opt.Run)
 				tb.Close()
 			}
 		}()
@@ -175,6 +178,21 @@ func MergeReports(parts ...*Report) *Report {
 		out.PoisonedQueries += p.PoisonedQueries
 		out.HealthyQueries += p.HealthyQueries
 		out.Classes = metrics.MergeCounts(out.Classes, p.Classes)
+		if p.Convergence != nil {
+			if out.Convergence == nil {
+				out.Convergence = make(map[metrics.Class]ClassConvergence)
+			}
+			for cls, cc := range p.Convergence {
+				m := out.Convergence[cls]
+				m.Devices += cc.Devices
+				m.Reconverged += cc.Reconverged
+				m.TotalTime += cc.TotalTime
+				if cc.MaxTime > m.MaxTime {
+					m.MaxTime = cc.MaxTime
+				}
+				out.Convergence[cls] = m
+			}
+		}
 		out.PoisonLog.Merge(p.PoisonLog)
 		out.HealthyLog.Merge(p.HealthyLog)
 	}

@@ -127,6 +127,21 @@ func assertReportsMatch(t *testing.T, serial, sharded *Report) {
 				s.Class, s.Informed, s.Internet, s.UsedIPv6,
 				p.Class, p.Informed, p.Internet, p.UsedIPv6)
 		}
+		if s.Churned != p.Churned || s.Reconverged != p.Reconverged || s.ConvergeTime != p.ConvergeTime {
+			t.Errorf("device %d (%s) churn: serial={%v %v %v} sharded={%v %v %v}",
+				i, s.Spec.Name,
+				s.Churned, s.Reconverged, s.ConvergeTime,
+				p.Churned, p.Reconverged, p.ConvergeTime)
+		}
+	}
+	if len(serial.Convergence) != len(sharded.Convergence) {
+		t.Errorf("convergence classes: serial=%d sharded=%d",
+			len(serial.Convergence), len(sharded.Convergence))
+	}
+	for cls, sc := range serial.Convergence {
+		if pc := sharded.Convergence[cls]; sc != pc {
+			t.Errorf("Convergence[%s]: serial=%+v sharded=%+v", cls, sc, pc)
+		}
 	}
 	if sharded.PoisonLog.Len() != sharded.PoisonedQueries {
 		t.Errorf("merged poison log %d entries, counter says %d",

@@ -5,6 +5,19 @@
 // test-ipv6.com mirror, IPv4-only sites, the Echolink-style UDP
 // service). Every knob the paper varies is an Option so experiments can
 // flip interventions on and off.
+//
+// Worlds come in two constructions. New(opt) is the classic panicking
+// constructor for one-off experiments. Topology is the declarative
+// form: a plain-data spec (addressing, gateway, Pis, sites, clients,
+// link Impairment, reboot ChurnSpec) that Build assembles into a
+// running world and Factory rebuilds into arbitrarily many independent
+// copies — the hand-off point to scenario.RunSharded. ScaleTopology
+// widens pools and stretches lease/session lifetimes so device outcomes
+// are position-independent, the precondition for shard-equality.
+// Chaos knobs thread through the same spec: Impair degrades every
+// client NIC with streams seeded from ChaosSeed and the client's name
+// (never its attach order), and Churn schedules whole-world gateway
+// reboots on the virtual clock.
 package testbed
 
 import (
@@ -204,6 +217,9 @@ func (tb *Testbed) ReinstateIntervention() {
 func (tb *Testbed) AddClient(name string, b hoststack.Behavior) *hoststack.Host {
 	c := hoststack.New(tb.Net, name, b)
 	tb.Switch.AttachPort(c.NIC)
+	if tb.Spec.Impair.Enabled() {
+		c.NIC.SetImpairment(tb.Spec.Impair, chaosSeed(tb.Spec.ChaosSeed, name))
+	}
 	c.Start()
 	tb.Net.RunFor(2 * time.Second)
 	tb.Clients = append(tb.Clients, c)

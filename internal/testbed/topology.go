@@ -50,6 +50,19 @@ type Topology struct {
 	// SettleTime is how long beacons and server bring-up are given
 	// before Build returns (default one second).
 	SettleTime time.Duration
+
+	// Impair, when any knob is set, is applied to every client NIC at
+	// attach time. Each client's PRNG streams are seeded from ChaosSeed
+	// and the client's name (chaosSeed), so an impaired population
+	// produces identical per-client draws across serial and sharded runs.
+	// Infrastructure links (gateway, switch, Pis) stay pristine: the
+	// chaos model degrades the access edge, not the testbed's spine.
+	Impair netsim.Impairment
+	// ChaosSeed is the base seed for per-client impairment streams.
+	ChaosSeed uint64
+
+	// Churn schedules whole-world gateway reboots on the virtual clock.
+	Churn ChurnSpec
 }
 
 // GatewaySpec parameterizes the 5G mobile internet gateway.
@@ -435,6 +448,10 @@ func Build(spec Topology) (*Testbed, error) {
 	tb.Switch.Start()
 	// Let beacons and server bring-up settle.
 	tb.Net.RunFor(spec.SettleTime)
+
+	// Churn timers anchor after settle: FirstReboot counts from the
+	// moment the infrastructure is up, not from the empty world.
+	tb.scheduleChurn(spec.Churn)
 
 	for _, c := range spec.Clients {
 		tb.AddClient(c.Name, c.Behavior)

@@ -1,0 +1,158 @@
+// Command doclint enforces the repo's documentation bar: every exported
+// top-level identifier (type, function, method, const and var group)
+// must carry a doc comment, and every package must have a package
+// comment. It walks the package directories given as arguments (or
+// ./internal/... and ./cmd/... plus the module root by default), parses
+// the non-test sources with go/parser, and prints one line per missing
+// comment. Exit status 1 means the bar is not met — CI runs this next
+// to go vet.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{".", "./internal/...", "./cmd/...", "./tools/..."}
+	}
+	dirs := map[string]bool{}
+	for _, r := range roots {
+		if rest, ok := strings.CutSuffix(r, "/..."); ok {
+			_ = filepath.WalkDir(rest, func(p string, d fs.DirEntry, err error) error {
+				if err != nil || !d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+					return err
+				}
+				dirs[p] = true
+				return nil
+			})
+			continue
+		}
+		dirs[r] = true
+	}
+	ordered := make([]string, 0, len(dirs))
+	for d := range dirs {
+		ordered = append(ordered, d)
+	}
+	sort.Strings(ordered)
+
+	bad := 0
+	for _, dir := range ordered {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one directory's package and reports undocumented
+// exported declarations. Test files are skipped: their exported helpers
+// document themselves through the tests that use them.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				bad += lintDecl(fset, decl)
+			}
+		}
+	}
+	return bad
+}
+
+// hasPackageDoc reports whether any file in the package carries a
+// package comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDecl reports undocumented exported identifiers introduced by one
+// top-level declaration. A doc comment on a const/var/type group covers
+// every spec inside it; a spec-level doc or trailing line comment also
+// counts.
+func lintDecl(fset *token.FileSet, decl ast.Decl) int {
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Printf("%s: %s %s has no doc comment\n", fset.Position(pos), kind, name)
+		bad++
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+			kind := "func"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if groupDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether a function's receiver type (if any) is
+// exported — methods on unexported types are internal plumbing and not
+// held to the doc bar.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
