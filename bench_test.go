@@ -14,6 +14,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/httpsim"
 	"repro/internal/nat64"
+	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/portal"
 	"repro/internal/profiles"
@@ -453,6 +454,45 @@ func BenchmarkScaleThousandClients(b *testing.B) {
 		st := tb.Net.Stats()
 		b.ReportMetric(float64(st.FramesDelivered), "frames/op")
 		b.ReportMetric(float64(st.AllocsAvoided), "payload_allocs_avoided/op")
+	}
+}
+
+// BenchmarkBroadcastDomain isolates the switch flood fast path: N
+// clients on one switch, one broadcast per iteration delivered to the
+// other N-1 ports. With the shared-payload fan-out a flood costs one
+// event and one payload copy regardless of port count, so allocs/op is
+// O(1) in N and ns/op grows only with the (unavoidable) N handler
+// invocations — the flood path is ~linear where the per-port event loop
+// made it quadratic across a scenario's lifetime of floods.
+func BenchmarkBroadcastDomain(b *testing.B) {
+	sink := netsim.FrameHandlerFunc(func(_ *netsim.NIC, _ netsim.Frame) {})
+	for _, n := range []int{250, 1000, 4000} {
+		b.Run(fmt.Sprintf("clients-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			net := netsim.NewNetwork()
+			sw := netsim.NewSwitch(net, "sw")
+			nics := make([]*netsim.NIC, n)
+			for i := range nics {
+				nics[i] = net.NewNIC(fmt.Sprintf("c%d", i), sink)
+				nics[i].RestrictFlooding()
+				nics[i].AddEtherTypeInterest(netsim.EtherTypeIPv4)
+				sw.AttachPort(nics[i])
+			}
+			payload := make([]byte, 300) // a DHCPv4 DISCOVER-sized broadcast
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nics[i%n].Transmit(netsim.Frame{
+					Dst: netsim.Broadcast, EtherType: netsim.EtherTypeIPv4, Payload: payload,
+				})
+				net.Run(0)
+			}
+			b.StopTimer()
+			st := net.Stats()
+			b.ReportMetric(float64(st.FramesDelivered)/float64(b.N), "frames/op")
+			if st.FanoutEvents != uint64(b.N) {
+				b.Fatalf("floods off the fan-out path: %d events for %d floods", st.FanoutEvents, b.N)
+			}
+		})
 	}
 }
 

@@ -7,6 +7,10 @@ import (
 	"repro/internal/packet"
 )
 
+// v4LimitedBroadcast is 255.255.255.255, hoisted out of the per-frame
+// delivery path.
+var v4LimitedBroadcast = netip.AddrFrom4([4]byte{255, 255, 255, 255})
+
 func (h *Host) handleARP(f netsim.Frame) {
 	a, err := packet.ParseARP(f.Payload)
 	if err != nil {
@@ -93,7 +97,7 @@ func (h *Host) handleIPv4Frame(f netsim.Frame) {
 	if err != nil {
 		return
 	}
-	if !h.ownsV4(p.Dst) && p.Dst != netip.MustParseAddr("255.255.255.255") {
+	if !h.ownsV4(p.Dst) && p.Dst != v4LimitedBroadcast {
 		return
 	}
 	h.deliverIPv4(p)

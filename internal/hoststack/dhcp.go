@@ -64,6 +64,19 @@ func (h *Host) dhcpStart() {
 		Renewals: h.dhcp.Renewals, Retransmits: h.dhcp.Retransmits,
 	}
 	h.udpBind[dhcp4.ClientPort] = func(_ netip.Addr, _ uint16, _ netip.Addr, payload []byte) {
+		// Fixed-offset peek before the full parse: every client hears
+		// every broadcast OFFER/ACK on the LAN, and handleDHCPReply drops
+		// anything whose op/xid/chaddr is not ours — check those three
+		// fields first so other clients' exchanges cost nothing. Short
+		// payloads fall through; Parse rejects them exactly as before.
+		if len(payload) >= 34 {
+			xid := uint32(payload[4])<<24 | uint32(payload[5])<<16 |
+				uint32(payload[6])<<8 | uint32(payload[7])
+			if payload[0] != dhcp4.OpReply || xid != h.dhcp.xid ||
+				[6]byte(payload[28:34]) != [6]byte(h.NIC.MAC()) {
+				return
+			}
+		}
 		if msg, err := dhcp4.Parse(payload); err == nil {
 			h.handleDHCPReply(msg)
 		}
@@ -161,7 +174,7 @@ func (h *Host) dhcpRetransmit() {
 // sendDHCP broadcasts a client message from 0.0.0.0:68 to 255.255.255.255:67.
 func (h *Host) sendDHCP(msg *dhcp4.Message) {
 	src := netip.AddrFrom4([4]byte{})
-	dst := netip.MustParseAddr("255.255.255.255")
+	dst := v4LimitedBroadcast
 	u := &packet.UDP{SrcPort: dhcp4.ClientPort, DstPort: dhcp4.ServerPort, Payload: msg.Marshal()}
 	p := &packet.IPv4{Protocol: packet.ProtoUDP, TTL: 64, Src: src, Dst: dst, Payload: u.Marshal(src, dst)}
 	h.NIC.Transmit(netsim.Frame{Dst: netsim.Broadcast, EtherType: netsim.EtherTypeIPv4, Payload: p.Marshal()})

@@ -125,10 +125,51 @@ func New(net *netsim.Network, name string, b Behavior) *Host {
 		pmtu:       make(map[netip.Addr]int),
 	}
 	h.NIC = net.NewNIC(name, h)
+	// Declare the flood interests that mirror HandleFrame's demux guards,
+	// so a snooping switch can suppress floods this host would drop
+	// anyway (DHCPv4 DISCOVER storms never reach IPv6-only ports, and
+	// solicited-node NS only reaches the solicited host). The declarations
+	// must stay exactly as permissive as the guards: anything the host
+	// would process, it must declare.
+	h.NIC.RestrictFlooding()
+	if b.IPv4Enabled {
+		h.declareV4Interest()
+	}
 	if b.IPv6Enabled {
 		h.linkLocal = ndp.LinkLocal(h.NIC.MAC())
+		h.declareV6Interest()
+		h.joinSolicitedNode(h.linkLocal)
 	}
 	return h
+}
+
+// declareV4Interest registers the flood interests matching the ARP and
+// IPv4 branches of HandleFrame.
+func (h *Host) declareV4Interest() {
+	h.NIC.AddEtherTypeInterest(netsim.EtherTypeARP)
+	h.NIC.AddEtherTypeInterest(netsim.EtherTypeIPv4)
+}
+
+// declareV6Interest registers the IPv6 EtherType interest plus the
+// all-nodes multicast group every IPv6 host listens on (RAs arrive
+// there).
+func (h *Host) declareV6Interest() {
+	h.NIC.AddEtherTypeInterest(netsim.EtherTypeIPv6)
+	h.NIC.JoinGroup(netsim.MAC(packet.MulticastMAC(ndp.AllNodes)))
+}
+
+// joinSolicitedNode subscribes the NIC to addr's solicited-node
+// multicast MAC group; joins are refcounted in the NIC because several
+// addresses (link-local and EUI-64 SLAAC addresses share an interface
+// identifier) can map onto one group MAC.
+func (h *Host) joinSolicitedNode(addr netip.Addr) {
+	h.NIC.JoinGroup(netsim.MAC(packet.MulticastMAC(packet.SolicitedNodeMulticast(addr))))
+}
+
+// leaveSolicitedNode releases one reference on addr's solicited-node
+// group, when the address expires.
+func (h *Host) leaveSolicitedNode(addr netip.Addr) {
+	h.NIC.LeaveGroup(netsim.MAC(packet.MulticastMAC(packet.SolicitedNodeMulticast(addr))))
 }
 
 // Name returns the host name.
@@ -203,12 +244,15 @@ func (h *Host) UDPBindCount() int { return len(h.udpBind) }
 // SetIPv4Static configures IPv4 manually (servers; hosts with DHCP off).
 func (h *Host) SetIPv4Static(addr netip.Addr, prefix netip.Prefix, router netip.Addr) {
 	h.v4Addr, h.v4Prefix, h.v4Router = addr, prefix, router
+	h.declareV4Interest() // the v4Addr guard in HandleFrame is now open
 	h.logf("ipv4 static %v/%d gw %v", addr, prefix.Bits(), router)
 }
 
 // AddIPv6Static adds a static IPv6 address (servers).
 func (h *Host) AddIPv6Static(addr netip.Addr, prefix netip.Prefix) {
 	h.v6Addrs = append(h.v6Addrs, V6Addr{Addr: addr, Prefix: prefix})
+	h.declareV6Interest() // the v6Addrs guard in HandleFrame is now open
+	h.joinSolicitedNode(addr)
 	h.logf("ipv6 static %v/%d", addr, prefix.Bits())
 }
 
@@ -323,6 +367,13 @@ func (h *Host) SendIPv4WithCLATTracking(p *packet.IPv4, proto uint8, localPort u
 
 // HandleFrame implements netsim.FrameHandler; it dispatches by EtherType.
 func (h *Host) HandleFrame(_ *netsim.NIC, f netsim.Frame) {
+	// Early demux: a flooded unicast frame for some other host is
+	// rejected on its dst MAC alone, before any packet parse. ARP stays
+	// exempt — hosts snoop flooded ARP traffic to learn neighbours
+	// opportunistically.
+	if !f.Dst.IsMulticast() && f.Dst != h.NIC.MAC() && f.EtherType != netsim.EtherTypeARP {
+		return
+	}
 	switch f.EtherType {
 	case netsim.EtherTypeARP:
 		if h.B.IPv4Enabled || h.v4Addr.IsValid() {
@@ -330,6 +381,9 @@ func (h *Host) HandleFrame(_ *netsim.NIC, f netsim.Frame) {
 		}
 	case netsim.EtherTypeIPv4:
 		if h.B.IPv4Enabled || h.v4Addr.IsValid() {
+			if f.Dst == netsim.Broadcast && h.rejectBroadcastUDP(f.Payload) {
+				return
+			}
 			h.handleIPv4Frame(f)
 		}
 	case netsim.EtherTypeIPv6:
@@ -337,4 +391,34 @@ func (h *Host) HandleFrame(_ *netsim.NIC, f netsim.Frame) {
 			h.handleIPv6Frame(f)
 		}
 	}
+}
+
+// rejectBroadcastUDP reports whether a link-broadcast IPv4 payload can
+// be dropped on a fixed-offset peek: an unfragmented limited-broadcast
+// UDP datagram to a port nobody here is bound to. Every DHCPv4 DISCOVER
+// on the LAN reaches every IPv4 host; non-servers drop them here
+// without parsing headers or verifying checksums. Anything unusual
+// (options are fine, fragments and short packets are not) falls through
+// to the full parse, which drops the same frames more slowly — the peek
+// only ever rejects what deliverIPv4 would reject.
+func (h *Host) rejectBroadcastUDP(b []byte) bool {
+	if len(b) < packet.IPv4MinHeaderLen || b[0]>>4 != 4 {
+		return false
+	}
+	hlen := int(b[0]&0x0f) * 4
+	if hlen < packet.IPv4MinHeaderLen || len(b) < hlen+packet.UDPHeaderLen {
+		return false
+	}
+	if b[9] != packet.ProtoUDP {
+		return false
+	}
+	if fragFlags := uint16(b[6])<<8 | uint16(b[7]); fragFlags&0x3fff != 0 {
+		return false // fragment: let the full path decide
+	}
+	if [4]byte(b[16:20]) != [4]byte{255, 255, 255, 255} {
+		return false // subnet-directed broadcast etc.: full path
+	}
+	dstPort := uint16(b[hlen+2])<<8 | uint16(b[hlen+3])
+	_, bound := h.udpBind[dstPort]
+	return !bound
 }

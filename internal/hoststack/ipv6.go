@@ -307,6 +307,7 @@ func (h *Host) processRA(src netip.Addr, ra *ndp.RouterAdvert) {
 				PreferredUntil: now.Add(pi.PreferredLifetime),
 				ValidUntil:     now.Add(pi.ValidLifetime),
 			})
+			h.joinSolicitedNode(addr)
 			h.logf("slaac %v (from RA by %v)", addr, src)
 			h.refreshCLATSource()
 		}
@@ -344,6 +345,7 @@ func (h *Host) expireV6Addrs(now time.Time) {
 	kept := h.v6Addrs[:0]
 	for _, a := range h.v6Addrs {
 		if !a.ValidUntil.IsZero() && !a.ValidUntil.After(now) {
+			h.leaveSolicitedNode(a.Addr)
 			h.logf("addr %v valid lifetime expired", a.Addr)
 			continue
 		}

@@ -150,12 +150,14 @@ func (nc *NIC) transmitImpaired(peer *NIC, f Frame, st *impairState, rng *splitm
 	copy(p, f.Payload)
 	orig := f
 	f.Payload = p
+	f.Shared = false
 	n.scheduleFrame(delay, peer, f)
 	if dup {
 		n.impairDuplicated++
 		q := n.arena.alloc(len(orig.Payload))
 		copy(q, orig.Payload)
 		orig.Payload = q
+		orig.Shared = false
 		n.scheduleFrame(delay+DefaultLinkLatency, peer, orig)
 	}
 }

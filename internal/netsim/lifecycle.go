@@ -40,6 +40,8 @@ func (n *Network) Reset() {
 	n.impairDuplicated = 0
 	n.impairReordered = 0
 	n.impairFlapDropped = 0
+	n.fanoutEvents = 0
+	n.fanoutDeliveries = 0
 	n.arena.recycle()
 	n.Clock.reset()
 }

@@ -252,8 +252,8 @@ func TestSwitchFilterDropsFrames(t *testing.T) {
 	if len(cb.frames) != 0 {
 		t.Fatalf("filtered frame was delivered")
 	}
-	if _, _, filtered := sw.Stats(); filtered != 1 {
-		t.Errorf("filtered count = %d, want 1", filtered)
+	if st := sw.Stats(); st.Filtered != 1 {
+		t.Errorf("filtered count = %d, want 1", st.Filtered)
 	}
 }
 

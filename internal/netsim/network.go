@@ -12,6 +12,12 @@ type Frame struct {
 	Dst       MAC
 	EtherType uint16
 	Payload   []byte
+
+	// Shared marks a payload delivered to multiple receivers at once (a
+	// switch flood fan-out carries one immutable copy for every port).
+	// Receivers may parse and retain a shared payload freely but must
+	// not mutate it in place; call Own (or Clone) first.
+	Shared bool
 }
 
 // EtherType values used by the simulator.
@@ -26,7 +32,19 @@ func (f Frame) Clone() Frame {
 	p := make([]byte, len(f.Payload))
 	copy(p, f.Payload)
 	f.Payload = p
+	f.Shared = false
 	return f
+}
+
+// Own returns a frame whose payload is safe to mutate: a shared
+// (fan-out) payload is copied, a private one is returned as-is. This is
+// the copy-on-write half of the shared-payload flood path — only
+// receivers that actually write pay for a copy.
+func (f Frame) Own() Frame {
+	if !f.Shared {
+		return f
+	}
+	return f.Clone()
 }
 
 // FrameHandler receives frames delivered to a NIC.
@@ -67,16 +85,26 @@ type Network struct {
 	stopped bool
 
 	arena payloadArena
+
+	// fanoutFree recycles destination-set slices between fan-out events,
+	// so a flood costs no slice allocation once warmed up.
+	fanoutFree [][]*NIC
+
+	fanoutEvents     uint64 // fan-out events executed
+	fanoutDeliveries uint64 // frames delivered through fan-out events
 }
 
 // event is one pending occurrence on the fabric, ordered by (when, seq).
 // Frame deliveries are stored inline (dst != nil) so the hot path never
-// allocates a closure; everything else carries a callback in fn.
+// allocates a closure; everything else carries a callback in fn. A
+// fan-out delivery (dsts != nil) carries one shared payload and the
+// whole destination set of a flooded frame in a single event.
 type event struct {
 	when  time.Time
 	seq   uint64
 	fn    func()
 	dst   *NIC
+	dsts  []*NIC
 	frame Frame
 }
 
@@ -230,6 +258,11 @@ type Stats struct {
 	AllocsAvoided  uint64
 	// PayloadBytes is the total bytes bump-allocated for payload copies.
 	PayloadBytes uint64
+	// FanoutEvents counts flood fan-out events (one per flooded frame);
+	// FanoutDeliveries counts frames delivered through them. Their ratio
+	// is the mean flood width served by a single shared payload.
+	FanoutEvents     uint64
+	FanoutDeliveries uint64
 	// ArenaChunksAllocated / ArenaChunksReused count 32 KiB chunk
 	// fetches that missed / hit the sync.Pool.
 	ArenaChunksAllocated uint64
@@ -260,6 +293,8 @@ func (n *Network) Stats() Stats {
 		PayloadsServed:       n.arena.served,
 		AllocsAvoided:        avoided,
 		PayloadBytes:         n.arena.servedBytes,
+		FanoutEvents:         n.fanoutEvents,
+		FanoutDeliveries:     n.fanoutDeliveries,
 		ArenaChunksAllocated: n.arena.chunksNew,
 		ArenaChunksReused:    n.arena.chunksReused,
 		OversizedPayloads:    n.arena.oversized,
@@ -322,6 +357,48 @@ func (n *Network) scheduleFrame(d time.Duration, dst *NIC, f Frame) {
 	}
 }
 
+// takeFanout hands out a destination-set buffer for a flood fan-out,
+// reusing a retired one when available.
+func (n *Network) takeFanout() []*NIC {
+	if k := len(n.fanoutFree); k > 0 {
+		buf := n.fanoutFree[k-1]
+		n.fanoutFree[k-1] = nil
+		n.fanoutFree = n.fanoutFree[:k-1]
+		return buf
+	}
+	return make([]*NIC, 0, 16)
+}
+
+// releaseFanout returns a destination-set buffer to the freelist.
+func (n *Network) releaseFanout(buf []*NIC) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	n.fanoutFree = append(n.fanoutFree, buf[:0])
+}
+
+// scheduleFanout enqueues one event delivering f to every NIC in dsts at
+// virtual time now+d, in slice order. The payload is shared by every
+// receiver — the flood costs one payload copy and one heap push no
+// matter how many ports it reaches. Ownership of dsts passes to the
+// fabric (it is recycled after delivery). A stopped fabric recycles the
+// buffer immediately and delivers nothing.
+func (n *Network) scheduleFanout(d time.Duration, dsts []*NIC, f Frame) {
+	if n.stopped {
+		n.releaseFanout(dsts)
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	f.Shared = true
+	n.seq++
+	n.queue.push(event{when: n.Clock.Now().Add(d), seq: n.seq, dsts: dsts, frame: f})
+	if len(n.queue) > n.queuePeak {
+		n.queuePeak = len(n.queue)
+	}
+}
+
 // FramesDelivered reports the total number of frames delivered so far.
 func (n *Network) FramesDelivered() uint64 { return n.frames }
 
@@ -337,6 +414,21 @@ func (n *Network) run(ev event) {
 		if ev.dst.handler != nil {
 			ev.dst.handler.HandleFrame(ev.dst, ev.frame)
 		}
+		return
+	}
+	if ev.dsts != nil {
+		n.fanoutEvents++
+		size := uint64(len(ev.frame.Payload))
+		for _, dst := range ev.dsts {
+			n.frames++
+			n.fanoutDeliveries++
+			dst.rxFrames++
+			dst.rxBytes += size
+			if dst.handler != nil {
+				dst.handler.HandleFrame(dst, ev.frame)
+			}
+		}
+		n.releaseFanout(ev.dsts)
 		return
 	}
 	ev.fn()

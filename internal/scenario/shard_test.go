@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/profiles"
@@ -178,6 +179,37 @@ func TestShardedMatchesSerial(t *testing.T) {
 				assertReportsMatch(t, serial, sharded)
 			})
 		}
+	}
+}
+
+// TestShardedMatchesSerialMultiCore pins the multi-core half of the
+// shard property: with GOMAXPROCS forced above 1 and a worker pool
+// genuinely running shards on concurrent goroutines, the merged report
+// is still bit-for-bit equal to the serial run. Worlds share no state
+// (own fabric, clock, MAC allocator, PRNG streams), so scheduling
+// interleavings must be unobservable in the result.
+func TestShardedMatchesSerialMultiCore(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 24
+	const seed = int64(3)
+	devices := Population(seed, n, DefaultMix())
+	fac := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), n)}
+
+	world, err := fac.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := Run(world, devices)
+	world.Close()
+
+	for run := 0; run < 3; run++ { // repeat to vary goroutine interleaving
+		sharded, err := RunSharded(fac.Build, devices, ShardOptions{Shards: 8, Workers: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertReportsMatch(t, serial, sharded)
 	}
 }
 

@@ -232,6 +232,15 @@ func (tb *Testbed) RestrictIPv4Internet() {
 	tb.Gateway.BlockNAT44()
 }
 
+// SwitchStats exposes the managed switch's forwarding and
+// flood-suppression counters — how much broadcast-domain traffic the
+// snooped interest filters kept away from ports that would only have
+// discarded it (e.g. DHCPv4 DISCOVER broadcasts never delivered to
+// IPv6-only clients).
+func (tb *Testbed) SwitchStats() netsim.SwitchStats {
+	return tb.Switch.Stats()
+}
+
 // VPNEgressV4 is the enterprise's public IPv4 address tunneled traffic
 // egresses from.
 var VPNEgressV4 = netip.MustParseAddr("130.202.1.1")

@@ -95,6 +95,43 @@ func TestSnoopingOffGatewayDHCPWins(t *testing.T) {
 	}
 }
 
+// TestFloodSuppressionOnAssembledTopology checks the layer-2 snooping
+// end to end: on the real Fig. 4 world, DHCPv4 broadcast chatter from a
+// legacy client is never delivered to an IPv6-only client's port, the
+// suppression counters account for it, and — crucially — suppression
+// changes neither client's bring-up outcome.
+func TestFloodSuppressionOnAssembledTopology(t *testing.T) {
+	tb := New(DefaultOptions())
+	v6 := tb.AddClient("linux", profiles.IPv6OnlyLinux())
+	legacy := tb.AddClient("console", profiles.NintendoSwitch())
+
+	if !legacy.IPv4Addr().IsValid() {
+		t.Fatal("legacy client failed DHCPv4 with snooping suppression active")
+	}
+	if len(v6.IPv6GlobalAddrs()) == 0 {
+		t.Fatal("IPv6-only client failed SLAAC with snooping suppression active")
+	}
+
+	st := tb.SwitchStats()
+	if st.SuppressedEtherType == 0 {
+		t.Error("no EtherType suppression on a mixed v4/v6-only floor; IPv4 broadcasts reached the IPv6-only port")
+	}
+	if st.SuppressedGroup == 0 {
+		t.Error("no group suppression; solicited-node NS flooded beyond group members")
+	}
+	if st.FanoutFloods == 0 {
+		t.Error("no floods rode the shared-payload fan-out path")
+	}
+
+	// The IPv6-only client's NIC must have received no IPv4 EtherType
+	// frames at all: its demux would drop them, so the switch should
+	// never have spent a delivery on them.
+	_, rxF, _, _ := v6.NIC.Stats()
+	if rxF == 0 {
+		t.Error("IPv6-only client received no frames at all")
+	}
+}
+
 // --- fig3: gateway RA with dead ULA RDNSS --------------------------------
 
 func TestFig3DeadRDNSSWithoutSwitchRA(t *testing.T) {
