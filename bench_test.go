@@ -537,6 +537,112 @@ func BenchmarkScenarioSharded(b *testing.B) {
 	})
 }
 
+// BenchmarkHeavyTraffic measures the unicast/flow fast path (DESIGN.md
+// §3d) from two angles, each as a rings-vs-legacy pair so the ring win
+// is read directly off the sub-benchmark ratio:
+//
+//   - unicast-*: the tentpole microworld — 500 point-to-point host
+//     pairs (1000 NICs) each bursting 8 frames per op, the shape a TCP
+//     send produces when it segments a large write at one virtual
+//     instant. Legacy pays one heap push + pop per frame against a
+//     4000-event heap; rings pay one drain event per link and amortize
+//     the rest. Payloads are kept small enough that a whole round fits
+//     the arena's retired-chunk budget, so the timed loop measures
+//     scheduler cost, not payload copying — and the warmed-up ring
+//     path must not allocate at all.
+//   - flows-*: end-to-end — a conference-floor population streaming
+//     paced CDN flows through DNS64+NAT64/CLAT/NAT44 via the scenario
+//     traffic layer, reporting simulated flows per wall-clock minute.
+//
+// BENCH_4.json records the measured ratios; CI regresses allocs/op
+// against it.
+func BenchmarkHeavyTraffic(b *testing.B) {
+	const (
+		pairs = 500
+		burst = 8
+	)
+	// 64 B × 4000 frames/round stays inside the arena's 8 retired 32 KiB
+	// chunks, so recycling between rounds feeds every copy from the pool.
+	payload := make([]byte, 64)
+	sink := netsim.FrameHandlerFunc(func(_ *netsim.NIC, _ netsim.Frame) {})
+
+	unicast := func(b *testing.B, rings bool) {
+		b.ReportAllocs()
+		net := netsim.NewNetwork()
+		net.SetUnicastRings(rings)
+		tx := make([]*netsim.NIC, pairs)
+		rx := make([]*netsim.NIC, pairs)
+		for i := 0; i < pairs; i++ {
+			tx[i] = net.NewNIC(fmt.Sprintf("a%d", i), sink)
+			rx[i] = net.NewNIC(fmt.Sprintf("z%d", i), sink)
+			net.Connect(tx[i], rx[i])
+		}
+		round := func() {
+			for i, nc := range tx {
+				for k := 0; k < burst; k++ {
+					nc.Transmit(netsim.Frame{Dst: rx[i].MAC(), EtherType: netsim.EtherTypeIPv6, Payload: payload})
+				}
+			}
+			net.Run(0)
+		}
+		// One warm-up round allocates the rings, grows the event heap and
+		// primes the arena pool, so the timed loop measures the steady
+		// state (and pins 0 allocs/op on the ring path).
+		round()
+		net.RecycleArena()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			round()
+			net.RecycleArena()
+		}
+		b.StopTimer()
+		st := net.Stats()
+		b.ReportMetric(float64(st.FramesDelivered)/float64(b.N+1), "frames/op")
+		if rings {
+			if st.UnicastRingFrames != st.FramesDelivered {
+				b.Fatalf("frames off the ring path: %d of %d", st.FramesDelivered-st.UnicastRingFrames, st.FramesDelivered)
+			}
+			b.ReportMetric(float64(st.UnicastRingFrames)/float64(st.UnicastRingBatches), "frames/batch")
+		} else if st.UnicastRingFrames != 0 {
+			b.Fatalf("legacy run used rings: %d frames", st.UnicastRingFrames)
+		}
+	}
+	b.Run("unicast-legacy", func(b *testing.B) { unicast(b, false) })
+	b.Run("unicast-rings", func(b *testing.B) { unicast(b, true) })
+
+	const devs = 24
+	devices := scenario.Population(1, devs, scenario.DefaultMix())
+	fac := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), devs)}
+	traffic := &scenario.TrafficOptions{
+		FlowsPerDevice: 8,
+		FlowBytes:      12 << 10,
+		Pace:           time.Millisecond,
+		ChurnFlows:     2,
+	}
+	flows := func(b *testing.B, rings bool) {
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			tb, err := fac.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tb.Net.SetUnicastRings(rings)
+			rep := scenario.RunWith(tb, devices, scenario.RunOptions{Traffic: traffic})
+			tb.Close()
+			if rep.Traffic == nil || rep.Traffic.Flows.Completed == 0 {
+				b.Fatal("population streamed nothing")
+			}
+			total += rep.Traffic.Flows.Opened
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(total)/float64(b.N), "flows/op")
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds()*60, "flows/min")
+	}
+	b.Run("flows-legacy", func(b *testing.B) { flows(b, false) })
+	b.Run("flows-rings", func(b *testing.B) { flows(b, true) })
+}
+
 // BenchmarkChaos measures the fault-injected hot path: a 64-device
 // population on 10%-loss impaired links, each device churned through one
 // gateway reboot and probed back to convergence. Relative to the clean

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnswire"
 	"repro/internal/httpsim"
+	"repro/internal/metrics"
 	"repro/internal/portal"
 	"repro/internal/profiles"
 	"repro/internal/scenario"
@@ -47,6 +48,7 @@ func main() {
 		{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
 		{"scale", "sharded vs serial conference-floor run (equality + timing)", scale},
 		{"chaos", "loss × gateway-reboot degradation matrix (DESIGN.md §3b)", chaos},
+		{"traffic", "heavy streaming flows through every translator (DESIGN.md §3d)", traffic},
 	}
 
 	want := map[string]bool{}
@@ -431,6 +433,44 @@ func chaos() {
 	fmt.Println("shape: loss hurts the v4-only tail first (DHCP retransmission vs RA beacons);")
 	fmt.Println("       churned devices that had internet re-converge within the RA/DHCP retry")
 	fmt.Println("       budget, and the renumbered prefix never strands an RFC 4862 host")
+}
+
+func traffic() {
+	fmt.Println("engine: every internet-capable device streams paced CDN flows (plus churned")
+	fmt.Println("        ones torn down mid-transfer) from the IPv4-only cdn.example.com, so")
+	fmt.Println("        each class crosses its translator: DNS64+NAT64 for v6-only, CLAT for")
+	fmt.Println("        464XLAT, NAT44 for legacy v4. Counters are deterministic (seed 1).")
+	const n = 24
+	devices := scenario.Population(1, n, scenario.DefaultMix())
+	fac := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), n)}
+	opt := scenario.RunOptions{Traffic: &scenario.TrafficOptions{
+		FlowsPerDevice: 4,
+		FlowBytes:      32 << 10,
+		Pace:           2 * time.Millisecond,
+		ChurnFlows:     1,
+	}}
+	world, err := fac.Build()
+	if err != nil {
+		fmt.Printf("measured: build error %v\n", err)
+		return
+	}
+	rep := scenario.RunWith(world, devices, opt)
+	world.Close()
+	fmt.Print("measured: " + strings.ReplaceAll(rep.Traffic.String(), "\n", "\n          "))
+	fmt.Println()
+	classes := make([]metrics.Class, 0, len(rep.Traffic.PerClass))
+	for cls := range rep.Traffic.PerClass {
+		classes = append(classes, cls)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, cls := range classes {
+		fs := rep.Traffic.PerClass[cls]
+		fmt.Printf("measured: %-14s opened=%-3d completed=%-3d aborted=%-3d down=%d bytes\n",
+			cls, fs.Opened, fs.Completed, fs.Aborted, fs.BytesDown)
+	}
+	fmt.Println("shape: downloads dominate NAT64 inbound bytes; churned flows stop generating")
+	fmt.Println("       at the server's next pace tick; every per-class byte count merges")
+	fmt.Println("       shard-exactly (TestTrafficShardedMatchesSerial)")
 }
 
 func firstLine(b []byte) string {

@@ -197,6 +197,45 @@ func (g *Gateway) CurrentGUAPrefix() netip.Prefix {
 	return g.cfg.GUAPrefixes[g.rebootCount%len(g.cfg.GUAPrefixes)]
 }
 
+// TrafficStats is a point-in-time snapshot of the gateway's translation
+// volume: packets and L4 payload octets through each translator, plus
+// live-session and compliance-log sizes. The heavy-traffic workload
+// reads it per shard and sums snapshots across worlds.
+type TrafficStats struct {
+	// NAT64PktsOut/In and NAT64BytesOut/In count RFC 6146 translations
+	// and their payload octets, per direction (out = v6→v4).
+	NAT64PktsOut  uint64
+	NAT64PktsIn   uint64
+	NAT64BytesOut uint64
+	NAT64BytesIn  uint64
+	// NAT44Pkts counts NAPT44 translations both directions;
+	// NAT44BytesOut/In split the payload octets by direction.
+	NAT44Pkts     uint64
+	NAT44BytesOut uint64
+	NAT44BytesIn  uint64
+	// NAT64Sessions / NAT44Sessions are live (unexpired) binding counts;
+	// NAT44LogEntries is the M-21-31 compliance log length.
+	NAT64Sessions   int
+	NAT44Sessions   int
+	NAT44LogEntries int
+}
+
+// TrafficStats returns the gateway's current translation counters.
+func (g *Gateway) TrafficStats() TrafficStats {
+	return TrafficStats{
+		NAT64PktsOut:    g.NAT64.TranslatedOut,
+		NAT64PktsIn:     g.NAT64.TranslatedIn,
+		NAT64BytesOut:   g.NAT64.BytesOut,
+		NAT64BytesIn:    g.NAT64.BytesIn,
+		NAT44Pkts:       g.NAT44.Translated,
+		NAT44BytesOut:   g.NAT44.BytesOut,
+		NAT44BytesIn:    g.NAT44.BytesIn,
+		NAT64Sessions:   g.NAT64.SessionCount(),
+		NAT44Sessions:   g.NAT44.SessionCount(),
+		NAT44LogEntries: len(g.NAT44.Log),
+	}
+}
+
 // ConnectWAN cables the gateway's WAN port to the internet host's NIC.
 func (g *Gateway) ConnectWAN(peer *netsim.NIC) {
 	g.net.Connect(g.wan, peer)

@@ -72,6 +72,17 @@ func (c *TCPConn) Recv() []byte {
 	return b
 }
 
+// Discard empties the receive buffer in place and reports how many
+// bytes it dropped. Unlike Recv, the buffer's storage stays with the
+// connection for reuse, so a consumer that only counts bytes (a
+// streaming client draining a batched burst) does not force a fresh
+// allocation per burst.
+func (c *TCPConn) Discard() int {
+	n := len(c.recvBuf)
+	c.recvBuf = c.recvBuf[:0]
+	return n
+}
+
 // Peek returns the buffered bytes without draining them.
 func (c *TCPConn) Peek() []byte { return c.recvBuf }
 

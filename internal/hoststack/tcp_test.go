@@ -72,6 +72,49 @@ func TestPruneAckedDropsDeliveredSegments(t *testing.T) {
 	}
 }
 
+func TestDiscardKeepsBufferStorage(t *testing.T) {
+	_, server, dial := newV6Pair(t)
+	server.ListenTCP(80, func(c *TCPConn) {
+		c.OnData = func(cc *TCPConn) {
+			if len(cc.Peek()) > 0 {
+				cc.Recv()
+				_ = cc.Send(bytes.Repeat([]byte("x"), 512))
+			}
+		}
+	})
+	conn := dial()
+	if err := conn.Send([]byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	if !conn.h.Net.RunUntil(func() bool { return len(conn.Peek()) >= 512 }, time.Second) {
+		t.Fatal("no reply")
+	}
+	capBefore := cap(conn.recvBuf)
+	if n := conn.Discard(); n != 512 {
+		t.Errorf("Discard = %d, want 512", n)
+	}
+	if len(conn.Peek()) != 0 {
+		t.Errorf("buffer not emptied: %d bytes remain", len(conn.Peek()))
+	}
+	if cap(conn.recvBuf) != capBefore {
+		t.Errorf("Discard released storage: cap %d -> %d", capBefore, cap(conn.recvBuf))
+	}
+	if n := conn.Discard(); n != 0 {
+		t.Errorf("second Discard = %d, want 0", n)
+	}
+	// A follow-up burst must land in the retained storage, not force a
+	// fresh allocation like Recv's ownership handover does.
+	if err := conn.Send([]byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	if !conn.h.Net.RunUntil(func() bool { return len(conn.Peek()) >= 512 }, time.Second) {
+		t.Fatal("no second reply")
+	}
+	if cap(conn.recvBuf) != capBefore {
+		t.Errorf("refill reallocated: cap %d -> %d", capBefore, cap(conn.recvBuf))
+	}
+}
+
 func TestOutOfOrderFINIgnored(t *testing.T) {
 	_, server, dial := newV6Pair(t)
 	server.ListenTCP(80, func(*TCPConn) {})

@@ -36,6 +36,11 @@ type Response struct {
 	Status int
 	Header map[string]string
 	Body   []byte
+
+	// Stream, when non-nil, replaces Body with a server-paced streaming
+	// body (see StreamSpec). The handler returns immediately; the server
+	// keeps the connection open and emits chunks on the virtual clock.
+	Stream *StreamSpec
 }
 
 // StatusText renders the few status codes the simulator uses.
@@ -115,15 +120,24 @@ func hostOnly(hostport string) string {
 func Serve(h *hoststack.Host, port uint16, handler Handler) {
 	h.ListenTCP(port, func(conn *hoststack.TCPConn) {
 		var buf []byte
+		served := false
 		conn.OnData = func(c *hoststack.TCPConn) {
+			if served {
+				return
+			}
 			buf = append(buf, c.Recv()...)
 			req, ok := parseRequest(buf)
 			if !ok {
 				return
 			}
+			served = true
 			req.ClientAddr = c.Remote()
 			req.ServerAddr = c.LocalAddr()
 			resp := handler.Serve(req)
+			if resp.Stream != nil {
+				serveStream(h, c, resp)
+				return
+			}
 			_ = c.Send(renderResponse(resp))
 			_ = c.Close()
 		}

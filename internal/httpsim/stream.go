@@ -1,0 +1,242 @@
+package httpsim
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/hoststack"
+)
+
+// This file adds long-lived streaming flows to the HTTP subset: a
+// server can declare a paced, chunked body of arbitrary size instead of
+// an in-memory []byte, and a client can consume such a flow while
+// counting bytes rather than buffering them. Together they generate the
+// sustained unicast traffic — CDN-style downloads through NAT64/CLAT —
+// that the heavy-traffic workload and BenchmarkHeavyTraffic measure.
+
+// DefaultStreamChunk is the server write size used when a StreamSpec
+// does not set one. It is deliberately larger than one TCP MSS so every
+// chunk segments into a multi-frame burst on the wire.
+const DefaultStreamChunk = 8 << 10
+
+// StreamSpec declares a server-generated streaming body. The server
+// sends TotalBytes of deterministic filler in Chunk-sized writes, with
+// Pace of virtual time between consecutive writes (0 = emit everything
+// immediately, still segmented by TCP). The response is framed with
+// Content-Length and connection-close like every other response.
+type StreamSpec struct {
+	// TotalBytes is the exact body size the flow carries.
+	TotalBytes int
+	// Chunk is the per-write size (default DefaultStreamChunk).
+	Chunk int
+	// Pace is the virtual-time gap between writes; it is what makes a
+	// flow long-lived rather than one synchronous burst.
+	Pace time.Duration
+}
+
+// streamPattern is the deterministic filler streamed bodies are built
+// from. It is read-only after init and safely shared by every world:
+// NIC.Transmit copies payloads synchronously, so concurrent sharded
+// fabrics can slice it without coordination.
+var streamPattern = func() []byte {
+	b := make([]byte, DefaultStreamChunk)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return b
+}()
+
+// serveStream writes resp's header and then emits the streamed body on
+// conn in spec.Chunk-sized writes paced on the host's virtual clock,
+// closing the connection after the final write. It aborts quietly if
+// the peer goes away mid-flow (connection churn is part of the
+// workload, not an error).
+func serveStream(h *hoststack.Host, conn *hoststack.TCPConn, resp *Response) {
+	spec := resp.Stream
+	chunk := spec.Chunk
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", resp.Status, StatusText(resp.Status))
+	fmt.Fprintf(&sb, "Content-Length: %d\r\n", spec.TotalBytes)
+	fmt.Fprintf(&sb, "Connection: close\r\n")
+	for k, v := range resp.Header {
+		fmt.Fprintf(&sb, "%s: %s\r\n", k, v)
+	}
+	sb.WriteString("\r\n")
+	if conn.Send([]byte(sb.String())) != nil {
+		return
+	}
+
+	remaining := spec.TotalBytes
+	var write func()
+	write = func() {
+		if conn.RemoteClosed() {
+			// Peer tore the flow down early; stop generating.
+			return
+		}
+		n := remaining
+		if n > chunk {
+			n = chunk
+		}
+		for n > 0 {
+			w := n
+			if w > len(streamPattern) {
+				w = len(streamPattern)
+			}
+			if conn.Send(streamPattern[:w]) != nil {
+				return
+			}
+			remaining -= w
+			n -= w
+		}
+		if remaining <= 0 {
+			_ = conn.Close()
+			return
+		}
+		if spec.Pace > 0 {
+			h.Net.Clock.AfterFunc(spec.Pace, write)
+			return
+		}
+		write()
+	}
+	write()
+}
+
+// StreamStats summarizes one client-side streaming fetch. Bytes are
+// application-level (HTTP header + body octets), counted as they drain
+// from the receive buffer — the client never holds the whole body.
+type StreamStats struct {
+	// Status is the parsed response status code.
+	Status int
+	// BytesUp is the request bytes the client sent.
+	BytesUp int64
+	// BytesDown is everything received: header plus body octets.
+	BytesDown int64
+	// BodyBytes is the body octets alone.
+	BodyBytes int64
+	// Complete reports the full Content-Length arrived and the server
+	// finished the flow (FIN observed).
+	Complete bool
+}
+
+// StreamAddr performs one GET against addr and consumes the response as
+// a flow: bytes are counted and discarded as they arrive instead of
+// accumulating. timeout bounds the whole transfer in virtual time; a
+// paced long flow needs a correspondingly long timeout.
+func StreamAddr(h *hoststack.Host, addr netip.Addr, port uint16, hostHeader, path string, timeout time.Duration) (*StreamStats, error) {
+	conn, err := h.DialTCP(addr, port, httpTimeout)
+	if err != nil {
+		return nil, err
+	}
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: ipv6lab\r\nConnection: close\r\n\r\n", path, hostHeader)
+	if err := conn.Send([]byte(req)); err != nil {
+		return nil, err
+	}
+	st := &StreamStats{BytesUp: int64(len(req))}
+
+	var header []byte
+	headerDone := false
+	contentLen := int64(-1)
+	consume := func() {
+		for {
+			if headerDone {
+				// Past the header only the count matters: Discard drains
+				// in place and lets the connection reuse its buffer, so a
+				// batched multi-segment burst costs no allocation here.
+				n := conn.Discard()
+				if n == 0 {
+					return
+				}
+				st.BytesDown += int64(n)
+				st.BodyBytes += int64(n)
+				continue
+			}
+			b := conn.Recv()
+			if len(b) == 0 {
+				return
+			}
+			st.BytesDown += int64(len(b))
+			if len(header) == 0 {
+				// Recv hands over ownership, so the usual case — header
+				// (plus the first batched chunk) in one burst — needs no
+				// copy at all.
+				header = b
+			} else {
+				header = append(header, b...)
+			}
+			idx := bytes.Index(header, []byte("\r\n\r\n"))
+			if idx < 0 {
+				continue
+			}
+			headerDone = true
+			st.BodyBytes += int64(len(header) - (idx + 4))
+			for i, line := range strings.Split(string(header[:idx]), "\r\n") {
+				if i == 0 {
+					parts := strings.SplitN(line, " ", 3)
+					if len(parts) >= 2 {
+						st.Status, _ = strconv.Atoi(parts[1])
+					}
+					continue
+				}
+				if kv := strings.SplitN(line, ":", 2); len(kv) == 2 &&
+					strings.EqualFold(strings.TrimSpace(kv[0]), "content-length") {
+					if n, err := strconv.ParseInt(strings.TrimSpace(kv[1]), 10, 64); err == nil {
+						contentLen = n
+					}
+				}
+			}
+			header = nil // body bytes are only counted from here on
+		}
+	}
+	h.Net.RunUntil(func() bool {
+		consume()
+		return headerDone && conn.RemoteClosed() && (contentLen < 0 || st.BodyBytes >= contentLen)
+	}, timeout)
+	consume()
+	_ = conn.Close()
+	if !headerDone {
+		return nil, hoststack.ErrTimeout
+	}
+	st.Complete = conn.RemoteClosed() && contentLen >= 0 && st.BodyBytes >= contentLen
+	return st, nil
+}
+
+// Stream fetches an http:// URL as a counted flow, resolving the name
+// and trying RFC 6724-ordered addresses like Browse does. It returns
+// the stats of the first address that yields a response.
+func Stream(h *hoststack.Host, url string, timeout time.Duration) (*StreamStats, error) {
+	name, port, path, err := splitURL(url)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []netip.Addr
+	if lit, err := netip.ParseAddr(strings.Trim(name, "[]")); err == nil {
+		addrs = []netip.Addr{lit}
+	} else {
+		lr, err := h.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		addrs = lr.Addrs
+	}
+	if len(addrs) == 0 {
+		return nil, ErrNoAddresses
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		st, err := StreamAddr(h, addr, port, name, path, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return st, nil
+	}
+	return nil, lastErr
+}

@@ -50,6 +50,10 @@ type Translator struct {
 
 	Translated uint64
 	Dropped    uint64
+	// BytesOut / BytesIn count translated L4 payload octets per
+	// direction (outbound = private→public), for flow-volume accounting.
+	BytesOut uint64
+	BytesIn  uint64
 }
 
 type key struct {
@@ -168,6 +172,7 @@ func (t *Translator) TranslateOut(p *packet.IPv4) (*packet.IPv4, error) {
 		return nil, fmt.Errorf("%w: protocol %d", ErrUnsupported, p.Protocol)
 	}
 	t.Translated++
+	t.BytesOut += uint64(len(p.Payload))
 	return out, nil
 }
 
@@ -232,6 +237,7 @@ func (t *Translator) TranslateIn(p *packet.IPv4) (*packet.IPv4, error) {
 		return nil, fmt.Errorf("%w: protocol %d", ErrUnsupported, p.Protocol)
 	}
 	t.Translated++
+	t.BytesIn += uint64(len(p.Payload))
 	return out, nil
 }
 

@@ -60,6 +60,11 @@ type Session struct {
 	LastSeen time.Time
 	PktsOut  uint64
 	PktsIn   uint64
+	// BytesOut / BytesIn count L4 payload octets carried across the
+	// binding in each direction (flow-volume accounting for the
+	// heavy-traffic workload).
+	BytesOut uint64
+	BytesIn  uint64
 	// Closing is set once a FIN or RST crossed the session, switching it
 	// to the short TCP_TRANS timeout.
 	Closing bool
@@ -89,6 +94,10 @@ type Translator struct {
 	TranslatedOut uint64
 	TranslatedIn  uint64
 	DroppedNoSess uint64
+	// BytesOut / BytesIn aggregate translated L4 payload octets across
+	// all sessions, per direction.
+	BytesOut uint64
+	BytesIn  uint64
 }
 
 // New creates a translator. Zero timeout fields take the RFC defaults;
@@ -250,6 +259,7 @@ func (t *Translator) TranslateV6ToV4(p *packet.IPv6) (*packet.IPv4, error) {
 		}
 		s.LastSeen = t.now()
 		s.PktsOut++
+		s.BytesOut += uint64(len(p.Payload))
 		out.Protocol = packet.ProtoUDP
 		out.Payload = (&packet.UDP{SrcPort: s.ExtPort, DstPort: u.DstPort, Payload: u.Payload}).Marshal(out.Src, out.Dst)
 	case packet.ProtoTCP:
@@ -263,6 +273,7 @@ func (t *Translator) TranslateV6ToV4(p *packet.IPv6) (*packet.IPv4, error) {
 		}
 		s.LastSeen = t.now()
 		s.PktsOut++
+		s.BytesOut += uint64(len(p.Payload))
 		if tc.Flags&(packet.TCPFin|packet.TCPRst) != 0 {
 			s.Closing = true
 		} else if tc.HasFlags(packet.TCPSyn) {
@@ -290,12 +301,14 @@ func (t *Translator) TranslateV6ToV4(p *packet.IPv6) (*packet.IPv4, error) {
 		}
 		s.LastSeen = t.now()
 		s.PktsOut++
+		s.BytesOut += uint64(len(p.Payload))
 		out.Protocol = packet.ProtoICMP
 		out.Payload = (&packet.ICMP{Type: packet.ICMPv4Echo, Body: packet.EchoBody(s.ExtPort, seq, data)}).MarshalV4()
 	default:
 		return nil, fmt.Errorf("%w: next header %d", ErrUnsupported, p.NextHeader)
 	}
 	t.TranslatedOut++
+	t.BytesOut += uint64(len(p.Payload))
 	return out, nil
 }
 
@@ -322,6 +335,7 @@ func (t *Translator) TranslateV4ToV6(p *packet.IPv4) (*packet.IPv6, error) {
 		}
 		s.LastSeen = t.now()
 		s.PktsIn++
+		s.BytesIn += uint64(len(p.Payload))
 		return s, nil
 	}
 
@@ -381,5 +395,6 @@ func (t *Translator) TranslateV4ToV6(p *packet.IPv4) (*packet.IPv6, error) {
 		return nil, fmt.Errorf("%w: protocol %d", ErrUnsupported, p.Protocol)
 	}
 	t.TranslatedIn++
+	t.BytesIn += uint64(len(p.Payload))
 	return out, nil
 }

@@ -17,6 +17,7 @@ import "time"
 func (n *Network) Stop() {
 	n.stopped = true
 	n.queue = nil
+	n.clearRings()
 	n.Clock.purge()
 }
 
@@ -42,6 +43,10 @@ func (n *Network) Reset() {
 	n.impairFlapDropped = 0
 	n.fanoutEvents = 0
 	n.fanoutDeliveries = 0
+	n.ringFrames = 0
+	n.ringBatches = 0
+	n.ringOverflows = 0
+	n.clearRings()
 	n.arena.recycle()
 	n.Clock.reset()
 }

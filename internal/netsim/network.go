@@ -64,6 +64,18 @@ const DefaultLinkLatency = 10 * time.Microsecond
 // Network owns the virtual clock and the pending delivery queue. All
 // frame deliveries and timer callbacks execute from Run/RunFor in a
 // single goroutine, in deterministic (time, sequence) order.
+//
+// Pending work lives in three cooperating structures: the global event
+// heap (eventQueue) holds one-off occurrences — callbacks, legacy
+// per-frame deliveries, flood fan-outs and ring drain events; the
+// hierarchical timer wheel (Clock) holds armed timers; and per-link
+// frame rings (ring.go) hold in-flight pristine unicast frames, each
+// ring represented in the heap by a single drain event keyed at its
+// head frame's (when, seq). The scheduler (step) always executes the
+// globally earliest occurrence across all three, with events winning
+// ties against timers at equal timestamps and seq breaking ties between
+// events, so delivery order is a total order independent of which
+// structure the work sat in.
 type Network struct {
 	Clock *Clock
 	macs  MACAllocator
@@ -92,27 +104,44 @@ type Network struct {
 
 	fanoutEvents     uint64 // fan-out events executed
 	fanoutDeliveries uint64 // frames delivered through fan-out events
+
+	// Unicast ring fast path (see ring.go). ringNICs tracks every NIC
+	// that ever allocated a ring so Stop/Reset can clear them; ringsOff
+	// disables the fast path (SetUnicastRings).
+	ringsOff      bool
+	ringNICs      []*NIC
+	ringFrames    uint64 // frames delivered through ring drains
+	ringBatches   uint64 // ring drain events executed
+	ringOverflows uint64 // frames bounced to the legacy path by a full ring
 }
 
 // event is one pending occurrence on the fabric, ordered by (when, seq).
 // Frame deliveries are stored inline (dst != nil) so the hot path never
 // allocates a closure; everything else carries a callback in fn. A
 // fan-out delivery (dsts != nil) carries one shared payload and the
-// whole destination set of a flooded frame in a single event.
+// whole destination set of a flooded frame in a single event. A ring
+// drain (ringNIC != nil) carries no frame at all: it stands in for
+// every frame queued in that NIC's link ring, keyed at the head frame's
+// (when, seq).
 type event struct {
-	when  time.Time
-	seq   uint64
-	fn    func()
-	dst   *NIC
-	dsts  []*NIC
-	frame Frame
+	when    time.Time
+	seq     uint64
+	fn      func()
+	dst     *NIC
+	dsts    []*NIC
+	ringNIC *NIC
+	frame   Frame
 }
 
 // eventQueue is a 4-ary min-heap over events keyed on (when, seq). A
 // hand-rolled heap (rather than container/heap) avoids boxing every
 // event in an interface on Push/Pop and lets the compare inline; the
 // wider fan-out halves tree depth for the deep queues a large client
-// population produces.
+// population produces. The heap is no longer the only scheduler: armed
+// timers live in the Clock's hierarchical timer wheel and in-flight
+// pristine unicast frames live in per-link rings (ring.go), with step
+// and drainRing interleaving all three sources into one global
+// (when, seq) order — events before timers at equal instants.
 type eventQueue []event
 
 func (q eventQueue) less(i, j int) bool {
@@ -263,6 +292,13 @@ type Stats struct {
 	// is the mean flood width served by a single shared payload.
 	FanoutEvents     uint64
 	FanoutDeliveries uint64
+	// UnicastRingFrames counts frames delivered through per-link ring
+	// drains; UnicastRingBatches counts the drain events that carried
+	// them (their ratio is the mean batch width). UnicastRingOverflows
+	// counts frames a full ring bounced onto the legacy per-event path.
+	UnicastRingFrames    uint64
+	UnicastRingBatches   uint64
+	UnicastRingOverflows uint64
 	// ArenaChunksAllocated / ArenaChunksReused count 32 KiB chunk
 	// fetches that missed / hit the sync.Pool.
 	ArenaChunksAllocated uint64
@@ -295,6 +331,9 @@ func (n *Network) Stats() Stats {
 		PayloadBytes:         n.arena.servedBytes,
 		FanoutEvents:         n.fanoutEvents,
 		FanoutDeliveries:     n.fanoutDeliveries,
+		UnicastRingFrames:    n.ringFrames,
+		UnicastRingBatches:   n.ringBatches,
+		UnicastRingOverflows: n.ringOverflows,
 		ArenaChunksAllocated: n.arena.chunksNew,
 		ArenaChunksReused:    n.arena.chunksReused,
 		OversizedPayloads:    n.arena.oversized,
@@ -455,6 +494,10 @@ func (n *Network) step(deadline time.Time, useDeadline bool) bool {
 		}
 		ev := n.queue.pop()
 		n.Clock.advance(ev.when)
+		if ev.ringNIC != nil {
+			n.drainRing(ev.ringNIC, deadline, useDeadline)
+			return true
+		}
 		n.run(ev)
 		return true
 	default:

@@ -31,6 +31,16 @@ type NIC struct {
 	rxFrames uint64
 	txBytes  uint64
 	rxBytes  uint64
+
+	// Per-link in-flight frame ring (see ring.go): pristine unicast
+	// frames bound for this NIC queue here instead of the global event
+	// heap, represented there by one drain event. Lazily allocated on
+	// first use; ringDraining guards against re-arming the drain event
+	// while drainRing is mid-batch.
+	ring         []inflight
+	ringHead     int
+	ringCount    int
+	ringDraining bool
 }
 
 // floodSubscriber is implemented by switch port handlers so a connected
@@ -201,7 +211,7 @@ func (nc *NIC) Transmit(f Frame) {
 	copy(p, f.Payload)
 	f.Payload = p
 	f.Shared = false
-	nc.net.scheduleFrame(DefaultLinkLatency, peer, f)
+	nc.net.scheduleFrameRing(peer, f)
 }
 
 // Stats returns cumulative (txFrames, rxFrames, txBytes, rxBytes).

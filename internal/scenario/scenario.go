@@ -131,6 +131,11 @@ type DeviceResult struct {
 	// ConvergeTime is the virtual time from the last reboot until the
 	// device's workload succeeded again (meaningful when Reconverged).
 	ConvergeTime time.Duration
+
+	// Flows accounts this device's heavy-traffic streaming workload
+	// (zero unless the run set RunOptions.Traffic and the device had
+	// working internet access).
+	Flows FlowStats
 }
 
 // Report aggregates a scenario run.
@@ -184,6 +189,11 @@ type Report struct {
 	// worst-case time takes the max.
 	Convergence map[metrics.Class]ClassConvergence
 
+	// Traffic aggregates the heavy-traffic streaming workload (nil
+	// unless the run set RunOptions.Traffic). Every field merges
+	// associatively across shards.
+	Traffic *TrafficReport
+
 	// Shards describes how the run was partitioned (nil for serial Run).
 	Shards []ShardInfo
 }
@@ -214,6 +224,10 @@ type RunOptions struct {
 	// ConvergeTimeout bounds the virtual time a device is given to
 	// re-converge after the reboot storm (default 60s).
 	ConvergeTimeout time.Duration
+	// Traffic, when non-nil, layers the heavy streaming workload on top
+	// of the connectivity check: devices with working internet stream
+	// CDN flows with per-flow byte accounting (see TrafficOptions).
+	Traffic *TrafficOptions
 }
 
 // DefaultConvergeTimeout bounds post-reboot probing when
@@ -303,6 +317,10 @@ func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report 
 		dr := DeviceResult{Spec: spec}
 		dr.Informed, dr.Internet, dr.UsedIPv6 = attempt(c, spec)
 
+		if opt.Traffic != nil && dr.Internet && !spec.EcholinkOnly {
+			dr.Flows = runFlows(c, opt.Traffic)
+		}
+
 		if churn {
 			// Sample this device's translator footprint before reboots
 			// wipe it, so per-device deltas sum identically across any
@@ -367,6 +385,9 @@ func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report 
 			}
 			rep.Convergence[dr.Class] = cc
 		}
+	}
+	if opt.Traffic != nil {
+		rep.Traffic = buildTrafficReport(tb, rep.Devices, opt.Traffic)
 	}
 	rep.PoisonLog = tb.PoisonLog
 	rep.HealthyLog = tb.HealthyLog

@@ -193,6 +193,7 @@ func MergeReports(parts ...*Report) *Report {
 				out.Convergence[cls] = m
 			}
 		}
+		mergeTraffic(&out.Traffic, p.Traffic)
 		out.PoisonLog.Merge(p.PoisonLog)
 		out.HealthyLog.Merge(p.HealthyLog)
 	}

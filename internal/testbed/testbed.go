@@ -70,7 +70,18 @@ var (
 	VPNGwV4    = netip.MustParseAddr("130.202.228.253")
 	VTCV4      = netip.MustParseAddr("198.51.100.40")
 	EcholinkV4 = netip.MustParseAddr("208.67.222.222")
+
+	// StreamCDNV4 is the IPv4-only streaming CDN every world carries:
+	// IPv6-only clients reach it through DNS64+NAT64 (or CLAT), legacy
+	// clients through NAT44 — the sustained-flow workload behind the
+	// heavy-traffic benchmark.
+	StreamCDNV4 = netip.MustParseAddr("151.101.1.6")
 )
+
+// StreamCDNName is the DNS name of the built-in streaming CDN site. Its
+// handler derives the flow geometry from the request path — see
+// Build for the /flow/<bytes>/<chunk>/<pace-ms> convention.
+const StreamCDNName = "cdn.example.com"
 
 // EcholinkPort is the UDP port of the IPv4-literal service (Fig. 2).
 const EcholinkPort uint16 = 5198

@@ -3,6 +3,8 @@ package testbed
 import (
 	"fmt"
 	"net/netip"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dhcp4"
@@ -382,6 +384,10 @@ func Build(spec Topology) (*Testbed, error) {
 	arpaSite.Zone.MustAdd(dnswire.RR{Name: "@", Type: dnswire.TypeA, TTL: 300, Addr: netip.MustParseAddr("192.0.0.171")})
 
 	tb.Internet.AddSite("ip6.me", IP6MeV4, IP6MeV6, portal.IP6MeHandler())
+	// The IPv4-only streaming CDN. Flow geometry rides in the path as
+	// /flow/<total-bytes>/<chunk-bytes>/<pace-ms>, so one site serves
+	// every traffic shape a scenario asks for.
+	tb.Internet.AddSite(StreamCDNName, StreamCDNV4, netip.Addr{}, streamCDNSite())
 	for _, s := range spec.Sites {
 		var h httpsim.Handler
 		if s.Body != "" {
@@ -463,6 +469,35 @@ func Build(spec Topology) (*Testbed, error) {
 func staticSite(body string) httpsim.Handler {
 	return httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
 		return &httpsim.Response{Status: 200, Body: []byte(body)}
+	})
+}
+
+// streamCDNSite serves paced streaming bodies whose geometry is encoded
+// in the request path: /flow/<total-bytes>/<chunk-bytes>/<pace-ms>.
+// Omitted or malformed segments fall back to a 64 KiB burst, so any
+// request yields a valid flow.
+func streamCDNSite() httpsim.Handler {
+	return httpsim.HandlerFunc(func(req *httpsim.Request) *httpsim.Response {
+		spec := &httpsim.StreamSpec{TotalBytes: 64 << 10}
+		if rest, ok := strings.CutPrefix(req.Path, "/flow/"); ok {
+			parts := strings.Split(rest, "/")
+			if len(parts) >= 1 {
+				if n, err := strconv.Atoi(parts[0]); err == nil && n >= 0 {
+					spec.TotalBytes = n
+				}
+			}
+			if len(parts) >= 2 {
+				if n, err := strconv.Atoi(parts[1]); err == nil && n > 0 {
+					spec.Chunk = n
+				}
+			}
+			if len(parts) >= 3 {
+				if ms, err := strconv.Atoi(parts[2]); err == nil && ms >= 0 {
+					spec.Pace = time.Duration(ms) * time.Millisecond
+				}
+			}
+		}
+		return &httpsim.Response{Status: 200, Stream: spec}
 	})
 }
 

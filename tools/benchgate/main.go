@@ -1,0 +1,127 @@
+// Command benchgate is the benchmark allocation-regression gate: it
+// reads `go test -bench` output on stdin, loads a BENCH_N.json snapshot
+// named on the command line, and fails (exit 1) if any benchmark
+// present in both measures more than 10% above the snapshot's recorded
+// allocs/op. A snapshot value of 0 allocs/op is therefore gated
+// strictly — a single op of per-frame garbage on the ring drain loop
+// fails CI. Benchmarks in the snapshot that never appear on stdin also
+// fail, so a renamed or deleted benchmark cannot silently disarm the
+// gate.
+//
+// Usage: go test -run '^$' -bench X -benchmem . | benchgate BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// measure is one recorded benchmark measurement; fields the gate does
+// not compare are ignored during decoding.
+type measure struct {
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// record is a snapshot entry: before/after measurements, either of
+// which may be absent (null).
+type record struct {
+	Before *measure `json:"before"`
+	After  *measure `json:"after"`
+}
+
+// snapshot mirrors the BENCH_N.json layout the repo records benchmark
+// passes in.
+type snapshot struct {
+	Benchmarks map[string]record `json:"benchmarks"`
+}
+
+// slack is the multiplicative tolerance applied to recorded allocs/op:
+// deterministic simulations still see small GC/sync.Pool jitter, and
+// 0-alloc records stay strict because 0*1.1 is still 0.
+const slack = 1.10
+
+// benchLine matches one benchmark result line. The first group is the
+// benchmark name with any -GOMAXPROCS suffix stripped; the second is
+// the allocs/op figure (always printed: every benchmark in this repo
+// calls b.ReportAllocs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s.*?(\d+(?:\.\d+)?) allocs/op`)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench ... -benchmem | benchgate BENCH_N.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", os.Args[1], err)
+		os.Exit(2)
+	}
+
+	want := make(map[string]float64)
+	for name, rec := range snap.Benchmarks {
+		m := rec.After
+		if m == nil {
+			m = rec.Before
+		}
+		if m != nil {
+			want[name] = m.AllocsOp
+		}
+	}
+	if len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s records no gateable benchmarks\n", os.Args[1])
+		os.Exit(2)
+	}
+
+	failed := false
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		limit, gated := want[name]
+		if !gated {
+			continue
+		}
+		seen[name] = true
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: unparsable allocs/op %q\n", name, m[2])
+			failed = true
+			continue
+		}
+		if got > limit*slack {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op exceeds snapshot %.0f (+10%% slack)\n",
+				name, got, limit)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchgate: ok   %s: %.0f allocs/op (snapshot %.0f)\n", name, got, limit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	for name := range want {
+		if !seen[name] {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: recorded in snapshot but absent from bench output\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
