@@ -3,6 +3,7 @@ package repro_test
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"testing"
 	"time"
 
@@ -641,6 +642,102 @@ func BenchmarkHeavyTraffic(b *testing.B) {
 	}
 	b.Run("flows-legacy", func(b *testing.B) { flows(b, false) })
 	b.Run("flows-rings", func(b *testing.B) { flows(b, true) })
+}
+
+// BenchmarkFabricScale measures the hierarchical fabric tier and the
+// per-host memory diet (DESIGN.md §3e) at the scale they exist for:
+//
+//   - million-clients: one process builds a 1000-access-switch ×
+//     1000-client fabric world — a million registered clients — and
+//     reports the marginal heap cost per registered client (GC-settled
+//     HeapAlloc delta across the build). A registered client is a
+//     struct-of-arrays table row, so the figure must stay in the
+//     hundreds of bytes, not the kilobytes a full Host costs; the
+//     benchmark fails outright past 512 B/client. A sample of clients
+//     across domains then materializes, browses through DNS64+NAT64
+//     and parks again, proving the world is live, after which the
+//     active working set must be back to zero.
+//   - subtree-sharded: the fabric execution engine end-to-end — an
+//     8-domain world run as 4 subtree shards, each shard rebuilding
+//     its access switches as an independent world.
+//
+// BENCH_5.json records the measured bytes/client; CI regresses it (and
+// allocs/op) against the snapshot via tools/benchgate.
+func BenchmarkFabricScale(b *testing.B) {
+	b.Run("million-clients", func(b *testing.B) {
+		b.ReportAllocs()
+		const (
+			access     = 1000
+			clientsPer = 1000
+			sample     = 8
+		)
+		// One iteration lives in its own function so the world is
+		// unreachable — not merely dead in a reused stack slot — by the
+		// time the next iteration's baseline GC runs.
+		iteration := func() float64 {
+			// Double GC settles sync.Pool victim caches from the previous
+			// iteration before the baseline sample.
+			runtime.GC()
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+
+			tb, err := testbed.Build(testbed.FabricTopology(testbed.DefaultOptions(), access, clientsPer))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fb := tb.Fabric
+			if got := fb.Table.Len(); got != access*clientsPer {
+				b.Fatalf("registered %d clients, want %d", got, access*clientsPer)
+			}
+
+			runtime.GC()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			perClient := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(access*clientsPer)
+			if perClient > 512 {
+				b.Fatalf("memory diet broken: %.1f bytes/client (limit 512)", perClient)
+			}
+
+			// Prove the million-row world is live: bring a spread of
+			// clients up through the full option-108 → DNS64 → NAT64
+			// pipeline, then park them all.
+			for s := 0; s < sample; s++ {
+				sw := s * access / sample
+				row, _ := fb.Rows(sw)
+				c := fb.Materialize(row, fmt.Sprintf("bench-d%d", sw), profiles.MacOS())
+				if r, err := httpsim.Browse(c, "http://sc24.supercomputing.org/"); err != nil || r.Response.Status != 200 {
+					b.Fatalf("domain %d client browse: status=%v err=%v", sw, r, err)
+				}
+				fb.Park(row)
+			}
+			if fb.ActiveCount() != 0 {
+				b.Fatalf("%d clients still materialized after parking", fb.ActiveCount())
+			}
+			tb.Close()
+			return perClient
+		}
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			total += iteration()
+		}
+		b.ReportMetric(total/float64(b.N), "bytes/client")
+	})
+	b.Run("subtree-sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		spec := testbed.FabricTopology(testbed.DefaultOptions(), 8, 1000)
+		for i := 0; i < b.N; i++ {
+			rep, err := scenario.RunFabric(spec, scenario.FabricOptions{
+				Seed: 1, ActorsPerDomain: 2, Shards: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Joined != 16 {
+				b.Fatalf("joined %d, want 16", rep.Joined)
+			}
+		}
+	})
 }
 
 // BenchmarkChaos measures the fault-injected hot path: a 64-device

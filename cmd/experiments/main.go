@@ -47,6 +47,7 @@ func main() {
 		{"tabC", "M-21-31 NAT44 logging burden vs IPv6 adoption", tabC},
 		{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
 		{"scale", "sharded vs serial conference-floor run (equality + timing)", scale},
+		{"fabric", "hierarchical fabric sweep: access switches × clients per switch (DESIGN.md §3e)", fabric},
 		{"chaos", "loss × gateway-reboot degradation matrix (DESIGN.md §3b)", chaos},
 		{"traffic", "heavy streaming flows through every translator (DESIGN.md §3d)", traffic},
 	}
@@ -415,6 +416,47 @@ func scale() {
 	fmt.Printf("measured: reports equal=%v  speedup=%.1fx (broadcast-domain work is quadratic\n",
 		equal, float64(serialTook)/float64(shardedTook))
 	fmt.Println("          in clients-per-switch, so 8 worlds of n/8 clients flood ~1/8 as much)")
+}
+
+func fabric() {
+	fmt.Println("engine: the hierarchical fabric tier — clients live behind access switches")
+	fmt.Println("        trunked into the distribution switch, floods stay inside their access")
+	fmt.Println("        domain, and a registered client is a ~32-byte table row until it acts")
+	for _, shape := range []struct{ access, per int }{{2, 250}, {4, 1000}, {8, 4000}} {
+		spec := testbed.FabricTopology(testbed.DefaultOptions(), shape.access, shape.per)
+		start := time.Now()
+		rep, err := scenario.RunFabric(spec, scenario.FabricOptions{Seed: 1, ActorsPerDomain: 2})
+		if err != nil {
+			fmt.Printf("measured: %dx%d fabric run error %v\n", shape.access, shape.per, err)
+			return
+		}
+		fmt.Printf("measured: %2d sw × %-5d registered=%-6d acting=%-3d informed=%-2d internet=%-3d overcount=%-2d wall=%v\n",
+			shape.access, shape.per, shape.access*shape.per, rep.Joined,
+			rep.Informed, rep.InternetOK, rep.Overcount, time.Since(start).Round(time.Millisecond))
+	}
+
+	// A shard is a fabric subtree: rerunning the middle shape split into
+	// per-subtree worlds must reproduce the serial report exactly.
+	spec := testbed.FabricTopology(testbed.DefaultOptions(), 4, 1000)
+	opt := scenario.FabricOptions{Seed: 1, ActorsPerDomain: 2}
+	serial, err := scenario.RunFabric(spec, opt)
+	if err != nil {
+		fmt.Printf("measured: serial fabric run error %v\n", err)
+		return
+	}
+	opt.Shards = 4
+	sharded, err := scenario.RunFabric(spec, opt)
+	if err != nil {
+		fmt.Printf("measured: subtree-sharded run error %v\n", err)
+		return
+	}
+	equal := serial.Joined == sharded.Joined && serial.Informed == sharded.Informed &&
+		serial.InternetOK == sharded.InternetOK && serial.Overcount == sharded.Overcount &&
+		serial.NAT64Sessions == sharded.NAT64Sessions && serial.PoisonedQueries == sharded.PoisonedQueries
+	fmt.Printf("measured: serial == subtree-sharded (4 worlds, one per access switch): %v\n", equal)
+	fmt.Println("shape: per-domain DHCP pools, name-keyed impairment and per-domain profile")
+	fmt.Println("       streams make a domain's outcomes a pure function of (seed, domain),")
+	fmt.Println("       so any subtree partition folds back to the serial report")
 }
 
 func chaos() {

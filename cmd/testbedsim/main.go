@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/hoststack"
 	"repro/internal/netsim"
 	"repro/internal/profiles"
 	"repro/internal/testbed"
@@ -29,6 +30,8 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-client link loss probability (0..1), seeded deterministically")
 	churn := flag.Int("churn", 0, "reboot the 5G gateway N times after the probes and re-evaluate")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the per-client impairment streams")
+	fabric := flag.Int("fabric", 0, "build a hierarchical fabric with N access switches instead of the flat Fig. 4 LAN")
+	clientsPer := flag.Int("clients-per", 64, "registered clients per access switch (with -fabric)")
 	flag.Parse()
 
 	opt := testbed.DefaultOptions()
@@ -56,10 +59,13 @@ func main() {
 	opt.Option108 = !*noOption108
 	opt.RestrictIPv4 = *restrictV4
 
-	fmt.Printf("testbed: poison=%s redirect=%v option108=%v snoop=%v switch-ra=%v restrict-v4=%v loss=%.0f%% churn=%d\n\n",
-		*poison, opt.RedirectV4, opt.Option108, opt.SnoopDHCP, opt.SwitchULARA, opt.RestrictIPv4, *loss*100, *churn)
+	fmt.Printf("testbed: poison=%s redirect=%v option108=%v snoop=%v switch-ra=%v restrict-v4=%v loss=%.0f%% churn=%d fabric=%d\n\n",
+		*poison, opt.RedirectV4, opt.Option108, opt.SnoopDHCP, opt.SwitchULARA, opt.RestrictIPv4, *loss*100, *churn, *fabric)
 
 	spec := testbed.DefaultTopology(opt)
+	if *fabric > 0 {
+		spec = testbed.FabricTopology(opt, *fabric, *clientsPer)
+	}
 	if *loss > 0 {
 		spec.Impair = netsim.Impairment{Loss: *loss}
 		spec.ChaosSeed = *chaosSeed
@@ -74,8 +80,14 @@ func main() {
 		tap = &trace.Tap{Max: *pcap}
 		tb.Switch.AddFilter(tap.Filter())
 	}
-	for _, b := range profiles.All() {
-		c := tb.AddClient("probe-"+b.Name, b)
+	// In fabric mode the probes materialize from the client table,
+	// round-robin across access domains; on the flat LAN they attach to
+	// the managed switch directly. Either way each probe is evaluated
+	// right after it joins, and clients collects them for the churn
+	// re-evaluation.
+	var clients []*hoststack.Host
+	probe := func(c *hoststack.Host) {
+		clients = append(clients, c)
 		o := core.Evaluate(tb, c)
 		fmt.Println(core.MatrixRow{Outcome: o})
 		if *events {
@@ -84,13 +96,31 @@ func main() {
 			}
 		}
 	}
+	if fb := tb.Fabric; fb != nil {
+		fmt.Printf("fabric: %d access switches × %d registered clients (%d table rows)\n",
+			*fabric, *clientsPer, fb.Table.Len())
+		for i, b := range profiles.All() {
+			sw := i % *fabric
+			lo, hi := fb.Rows(sw)
+			row := lo + i / *fabric
+			if row >= hi {
+				fmt.Fprintf(os.Stderr, "access switch %d has no free row for probe %q (raise -clients-per)\n", sw, b.Name)
+				os.Exit(2)
+			}
+			probe(fb.Materialize(row, "probe-"+b.Name, b))
+		}
+	} else {
+		for _, b := range profiles.All() {
+			probe(tb.AddClient("probe-"+b.Name, b))
+		}
+	}
 
 	if *churn > 0 {
 		for i := 0; i < *churn; i++ {
 			tb.Gateway.Reboot()
 		}
 		fmt.Printf("\nafter %d gateway reboot(s) — leases, NAT state and the GUA /64 are gone:\n", *churn)
-		for _, c := range tb.Clients {
+		for _, c := range clients {
 			o := core.Evaluate(tb, c)
 			fmt.Println(core.MatrixRow{Outcome: o})
 		}

@@ -56,3 +56,37 @@ func ExampleEvaluate() {
 	fmt.Println(o.Class, o.FixedScore)
 	// Output: internet-via-ipv6 9/10
 }
+
+// A two-tier world built from a spec: two access switches of four
+// registered clients each trunk into the managed switch. A registered
+// client is a ~32-byte table row until Materialize builds the full
+// host; Park returns it to its row, so the active working set stays
+// tiny no matter how many clients the spec registers.
+func Example_fabricTopology() {
+	spec := testbed.FabricTopology(testbed.DefaultOptions(), 2, 4)
+	tb, err := testbed.Build(spec)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	defer tb.Close()
+
+	fb := tb.Fabric
+	fmt.Printf("registered %d clients on %d access switches\n",
+		fb.Table.Len(), len(fb.Switches))
+
+	for sw := 0; sw < 2; sw++ {
+		row, _ := fb.Rows(sw)
+		c := fb.Materialize(row, fmt.Sprintf("phone-%d", sw), profiles.Android())
+		r, _ := httpsim.Browse(c, "http://sc24.supercomputing.org/")
+		fmt.Printf("domain %d browsed over IPv6: %v\n", fb.DomainOf(row), r.UsedAddr.Is6())
+		fb.Park(row)
+	}
+	fmt.Printf("active after parking: %d\n", fb.ActiveCount())
+
+	// Output:
+	// registered 8 clients on 2 access switches
+	// domain 0 browsed over IPv6: true
+	// domain 1 browsed over IPv6: true
+	// active after parking: 0
+}

@@ -46,6 +46,14 @@ type Server struct {
 	// servers to avoid exactly that reuse).
 	cursor netip.Addr
 
+	// domains, when non-nil, scopes allocation per access domain the way
+	// a DHCP relay's giaddr selects a sub-pool: domainOf maps a client
+	// MAC to its domain and each domain round-robins inside its own
+	// slice of the scope. Clients in unregistered domains fall back to
+	// the whole pool.
+	domains  map[int]*domainState
+	domainOf func(chaddr [6]byte) int
+
 	// Counters for the experiment harness.
 	Offers        uint64
 	Acks          uint64
@@ -76,6 +84,49 @@ func NewServer(cfg ServerConfig, now func() time.Time) (*Server, error) {
 
 // Config returns the server's scope configuration.
 func (s *Server) Config() ServerConfig { return s.cfg }
+
+// DomainPool is the slice of the scope reserved for one access domain.
+type DomainPool struct {
+	Start, End netip.Addr
+}
+
+// domainState tracks one domain's pool bounds and round-robin cursor.
+type domainState struct {
+	pool   DomainPool
+	cursor netip.Addr
+}
+
+// SetDomains installs DHCP-relay-style per-domain lease scoping: lookup
+// maps a client MAC to its access-domain index, and each registered
+// domain allocates round-robin inside its own sub-pool. In the physical
+// testbed this is the relay-agent giaddr selecting a subnet scope; the
+// simulator collapses the relay hop and keys on the client MAC instead
+// (every frame here would have arrived via the domain's own trunk).
+// Pools must sit inside the server's scope and must not overlap.
+func (s *Server) SetDomains(pools map[int]DomainPool, lookup func(chaddr [6]byte) int) error {
+	if lookup == nil {
+		return fmt.Errorf("dhcp4: SetDomains needs a domain lookup")
+	}
+	ds := make(map[int]*domainState, len(pools))
+	for id, p := range pools {
+		if !p.Start.Is4() || !p.End.Is4() || p.Start.Compare(p.End) > 0 {
+			return fmt.Errorf("dhcp4: domain %d pool %v-%v invalid", id, p.Start, p.End)
+		}
+		if !s.inPool(p.Start) || !s.inPool(p.End) {
+			return fmt.Errorf("dhcp4: domain %d pool %v-%v outside scope %v-%v",
+				id, p.Start, p.End, s.cfg.PoolStart, s.cfg.PoolEnd)
+		}
+		for other, q := range pools {
+			if other != id && p.Start.Compare(q.End) <= 0 && q.Start.Compare(p.End) <= 0 {
+				return fmt.Errorf("dhcp4: domain %d pool overlaps domain %d", id, other)
+			}
+		}
+		ds[id] = &domainState{pool: p, cursor: p.Start}
+	}
+	s.domains = ds
+	s.domainOf = lookup
+	return nil
+}
 
 // LeaseCount returns the number of unexpired leases.
 func (s *Server) LeaseCount() int {
@@ -188,35 +239,53 @@ func (s *Server) DropLeases() {
 	clear(s.inUse)
 }
 
-// allocate finds or creates a lease for the client.
+// domainFor returns the registered domain state for a client, or nil
+// when the client allocates from the whole scope.
+func (s *Server) domainFor(chaddr [6]byte) *domainState {
+	if s.domainOf == nil {
+		return nil
+	}
+	return s.domains[s.domainOf(chaddr)]
+}
+
+// allocate finds or creates a lease for the client inside its domain's
+// slice of the pool (or the whole pool when unscoped).
 func (s *Server) allocate(req *Message) (netip.Addr, bool) {
 	now := s.now()
 	if l, ok := s.leases[req.CHAddr]; ok {
 		l.Expires = now.Add(s.cfg.LeaseTime)
 		return l.Addr, true
 	}
-	// Honor a valid requested address when free.
-	if want, ok := req.IPv4Option(OptRequestedIP); ok && s.inPool(want) {
+	dom := s.domainFor(req.CHAddr)
+	start, end, cursor := s.cfg.PoolStart, s.cfg.PoolEnd, s.cursor
+	if dom != nil {
+		start, end, cursor = dom.pool.Start, dom.pool.End, dom.cursor
+	}
+	inRange := func(a netip.Addr) bool {
+		return a.Is4() && start.Compare(a) <= 0 && a.Compare(end) <= 0
+	}
+	// Honor a valid requested address when free and inside the domain.
+	if want, ok := req.IPv4Option(OptRequestedIP); ok && inRange(want) {
 		if _, used := s.inUse[want]; !used {
-			return s.commit(req.CHAddr, want), true
+			return s.commit(req.CHAddr, want, dom), true
 		}
 	}
 	// Round-robin scan: start at the cursor, wrap once through the pool.
-	a := s.cursor
-	if !s.inPool(a) {
-		a = s.cfg.PoolStart
+	a := cursor
+	if !inRange(a) {
+		a = start
 	}
 	for first := a; ; {
 		owner, used := s.inUse[a]
 		if !used {
-			return s.commit(req.CHAddr, a), true
+			return s.commit(req.CHAddr, a, dom), true
 		}
 		if l, ok := s.leases[owner]; ok && !l.Expires.After(now) {
 			s.release(owner) // reclaim expired lease
-			return s.commit(req.CHAddr, a), true
+			return s.commit(req.CHAddr, a, dom), true
 		}
-		if a = a.Next(); !s.inPool(a) {
-			a = s.cfg.PoolStart
+		if a = a.Next(); !inRange(a) {
+			a = start
 		}
 		if a == first {
 			return netip.Addr{}, false
@@ -224,9 +293,15 @@ func (s *Server) allocate(req *Message) (netip.Addr, bool) {
 	}
 }
 
-func (s *Server) commit(chaddr [6]byte, addr netip.Addr) netip.Addr {
+func (s *Server) commit(chaddr [6]byte, addr netip.Addr, dom *domainState) netip.Addr {
 	s.leases[chaddr] = &Lease{Addr: addr, CHAddr: chaddr, Expires: s.now().Add(s.cfg.LeaseTime)}
 	s.inUse[addr] = chaddr
+	if dom != nil {
+		if dom.cursor = addr.Next(); !dom.cursor.Is4() || dom.pool.End.Compare(dom.cursor) < 0 || dom.cursor.Compare(dom.pool.Start) < 0 {
+			dom.cursor = dom.pool.Start
+		}
+		return addr
+	}
 	if s.cursor = addr.Next(); !s.inPool(s.cursor) {
 		s.cursor = s.cfg.PoolStart
 	}

@@ -56,6 +56,12 @@ type Config struct {
 	// paper's gateway predates this; it is an upgrade knob for modelling
 	// newer deployments.
 	AdvertisePREF64 bool
+	// ScopedRA answers Router Solicitations with a unicast RA to the
+	// soliciting host instead of multicasting to all-nodes. Fabric worlds
+	// set it so an RS from one access domain does not renumber-beacon
+	// every other domain; periodic beacons are unaffected (trunk scoping
+	// keeps those in the distribution tier).
+	ScopedRA bool
 	// CarrierDNS answers the gateway's LAN DNS proxy queries (plain
 	// carrier recursion — no DNS64 on the v4 path).
 	CarrierDNS dns.Resolver
@@ -279,8 +285,8 @@ func (g *Gateway) armRATimer() {
 	})
 }
 
-// sendRA multicasts the gateway's (flawed) Router Advertisement.
-func (g *Gateway) sendRA() {
+// buildRA assembles the gateway's (flawed) Router Advertisement.
+func (g *Gateway) buildRA() *ndp.RouterAdvert {
 	prefixes := []ndp.PrefixInfo{{
 		Prefix: g.CurrentGUAPrefix(),
 		OnLink: true, Autonomous: true,
@@ -310,12 +316,37 @@ func (g *Gateway) sendRA() {
 		ra.PREF64 = dns64.WellKnownPrefix
 		ra.PREF64Lifetime = 30 * time.Minute
 	}
+	return ra
+}
+
+// sendRA multicasts the Router Advertisement to all-nodes.
+func (g *Gateway) sendRA() {
+	ra := g.buildRA()
 	body := (&packet.ICMP{Type: packet.ICMPv6RouterAdvert, Body: ra.Marshal()}).MarshalV6(g.linkLocal, ndp.AllNodes)
 	p := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: g.linkLocal, Dst: ndp.AllNodes, Payload: body}
 	g.lan.Transmit(netsim.Frame{
 		Dst: netsim.MAC(packet.MulticastMAC(ndp.AllNodes)), EtherType: netsim.EtherTypeIPv6, Payload: p.Marshal(),
 	})
 	g.RAsSent++
+}
+
+// sendRAUnicast sends the same Router Advertisement directly to one host
+// (RFC 4861 §6.2.6 allows unicasting RS responses). The frame forwards
+// as known unicast across the fabric, so it stays out of every other
+// access domain.
+func (g *Gateway) sendRAUnicast(dst netsim.MAC, dstIP netip.Addr) {
+	ra := g.buildRA()
+	body := (&packet.ICMP{Type: packet.ICMPv6RouterAdvert, Body: ra.Marshal()}).MarshalV6(g.linkLocal, dstIP)
+	p := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: g.linkLocal, Dst: dstIP, Payload: body}
+	g.lan.Transmit(netsim.Frame{Dst: dst, EtherType: netsim.EtherTypeIPv6, Payload: p.Marshal()})
+	g.RAsSent++
+}
+
+// ScopeLeases installs per-access-domain DHCP pools on the built-in
+// server (see dhcp4.SetDomains); fabric worlds use it so the gateway's
+// rogue OFFERs are domain-stable too.
+func (g *Gateway) ScopeLeases(pools map[int]dhcp4.DomainPool, lookup func(chaddr [6]byte) int) error {
+	return g.DHCP.SetDomains(pools, lookup)
 }
 
 // --- LAN side -----------------------------------------------------------
@@ -550,7 +581,11 @@ func (g *Gateway) handleLANICMPv6(f netsim.Frame, p *packet.IPv6) bool {
 	}
 	switch ic.Type {
 	case packet.ICMPv6RouterSolicit:
-		g.sendRA()
+		if g.cfg.ScopedRA && p.Src.IsValid() && !p.Src.IsUnspecified() {
+			g.sendRAUnicast(f.Src, p.Src)
+		} else {
+			g.sendRA()
+		}
 		return true
 	case packet.ICMPv6NeighborSolicit:
 		ns, err := ndp.ParseNeighborSolicit(ic.Body)

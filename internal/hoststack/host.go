@@ -92,6 +92,13 @@ type Host struct {
 	// pmtu caches learned path MTUs per destination (RFC 8201).
 	pmtu map[netip.Addr]int
 
+	// gleanND, when set, learns neighbor entries from received unicast
+	// traffic (the way the 5G gateway always does). Fabric worlds set it
+	// on infrastructure servers whose multicast solicitations cannot
+	// cross scoped trunks; flat worlds never set it, keeping their frame
+	// sequences bit-identical to the pre-fabric testbed.
+	gleanND bool
+
 	// nat64Prefix is the translation prefix learned via RFC 8781 PREF64
 	// or RFC 7050 discovery; invalid means "use the well-known prefix".
 	nat64Prefix netip.Prefix
@@ -282,6 +289,13 @@ func (h *Host) PreloadARP(addr netip.Addr, mac netsim.MAC) { h.arpCache[addr] = 
 
 // PreloadNeighbor seeds the IPv6 neighbor cache.
 func (h *Host) PreloadNeighbor(addr netip.Addr, mac netsim.MAC) { h.ndCache[addr] = mac }
+
+// EnableNeighborGleaning makes the host learn neighbor cache entries
+// from the unicast traffic it receives, like a router. Infrastructure
+// servers in fabric worlds need this: flood scoping keeps their
+// multicast Neighbor Solicitations out of the access domains, so the
+// request itself must prime the reply path.
+func (h *Host) EnableNeighborGleaning() { h.gleanND = true }
 
 // AddStaticRouteV6 installs a permanent default router (used by hosts on
 // point-to-point links that never receive RAs, e.g. the internet cloud

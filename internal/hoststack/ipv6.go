@@ -116,6 +116,16 @@ func (h *Host) handleIPv6Frame(f netsim.Frame) {
 	if !h.ownsV6(p.Dst) {
 		return
 	}
+	// Servers in scoped-flood (fabric) worlds glean neighbors from the
+	// traffic they serve, exactly as the gateway does: an ND multicast
+	// solicitation toward a client would never cross a scoped trunk, so
+	// the reply path must come from the request itself.
+	if h.gleanND && !p.Src.IsMulticast() && p.Src.IsValid() && !f.Src.IsZero() {
+		if _, known := h.ndCache[p.Src]; !known {
+			h.ndCache[p.Src] = f.Src
+			h.flushNDPending(p.Src)
+		}
+	}
 	h.deliverIPv6(p)
 }
 

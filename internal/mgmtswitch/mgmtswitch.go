@@ -30,6 +30,11 @@ type Config struct {
 	AdvertiseULA bool
 	// SnoopDHCP enables intervention 2 once a trusted port is set.
 	SnoopDHCP bool
+	// ScopedRS answers Router Solicitations out of the soliciting port
+	// only, instead of beaconing the whole broadcast domain. Fabric
+	// worlds set it: with trunk scoping on, the solicited RA travels
+	// down exactly one access trunk and floods only that domain.
+	ScopedRS bool
 }
 
 // Switch wraps a learning switch with the managed-switch features.
@@ -73,7 +78,7 @@ func New(net *netsim.Network, name string, cfg Config) *Switch {
 
 // rsWatcher never blocks traffic; it answers Router Solicitations with
 // the switch's ULA RA so client bring-up does not wait a beacon period.
-func (s *Switch) rsWatcher(_ int, f netsim.Frame) bool {
+func (s *Switch) rsWatcher(ingress int, f netsim.Frame) bool {
 	if f.EtherType != netsim.EtherTypeIPv6 {
 		return true
 	}
@@ -81,7 +86,14 @@ func (s *Switch) rsWatcher(_ int, f netsim.Frame) bool {
 	if err == nil && p.NextHeader == packet.ProtoICMPv6 && len(p.Payload) > 0 &&
 		p.Payload[0] == packet.ICMPv6RouterSolicit {
 		// Reply after the solicitation itself has been forwarded.
-		s.net.Clock.AfterFunc(0, s.sendRA)
+		if s.cfg.ScopedRS {
+			// Fabric mode: answer out of the soliciting port only. With
+			// trunk scoping the RA then floods exactly one access domain.
+			port := ingress
+			s.net.Clock.AfterFunc(0, func() { s.sendRAPort(port) })
+		} else {
+			s.net.Clock.AfterFunc(0, s.sendRA)
+		}
 	}
 	return true
 }
@@ -92,6 +104,47 @@ func (s *Switch) LinkLocal() netip.Addr { return s.linkLocal }
 // BlockDHCPFrom marks a port as an untrusted DHCP source (the gateway's
 // port); server-to-client DHCP frames ingressing there are dropped.
 func (s *Switch) BlockDHCPFrom(port int) { s.blockedPorts[port] = true }
+
+// EnableDHCPDirectedBroadcast turns on the snooping feature fabric
+// worlds need once ScopeTrunks is set: DHCPv4 server replies addressed
+// to the link broadcast (clients with no address yet ask for broadcast
+// replies, RFC 2131 §4.1) would never cross a scoped trunk. Real
+// DHCP-snooping switches solve this by directing such replies at the
+// port where the client's hardware address was learned; this filter
+// does the same, retransmitting the reply as link-layer unicast to the
+// chaddr out of its learned (trunk) port while the broadcast copy still
+// floods the local — infrastructure — ports.
+func (s *Switch) EnableDHCPDirectedBroadcast() {
+	s.AddFilter(s.directedBroadcastFilter)
+}
+
+func (s *Switch) directedBroadcastFilter(_ int, f netsim.Frame) bool {
+	if f.Dst != netsim.Broadcast || f.EtherType != netsim.EtherTypeIPv4 {
+		return true
+	}
+	p, err := packet.ParseIPv4(f.Payload)
+	if err != nil || p.Protocol != packet.ProtoUDP || len(p.Payload) < packet.UDPHeaderLen {
+		return true
+	}
+	if srcPort := uint16(p.Payload[0])<<8 | uint16(p.Payload[1]); srcPort != dhcp4.ServerPort {
+		return true
+	}
+	msg, err := dhcp4.Parse(p.Payload[packet.UDPHeaderLen:])
+	if err != nil {
+		return true
+	}
+	mac := netsim.MAC(msg.CHAddr)
+	port, ok := s.PortOf(mac)
+	if !ok || !s.IsTrunk(port) {
+		return true // client is local (or unknown): the flood reaches it
+	}
+	// Deliver after the broadcast itself has been processed, mirroring
+	// rsWatcher's ordering.
+	directed := f
+	directed.Dst = mac
+	s.net.Clock.AfterFunc(0, func() { s.PortNIC(port).Transmit(directed) })
+	return true
+}
 
 // snoopFilter drops DHCPv4 server traffic (UDP source port 67) arriving
 // on untrusted ports.
@@ -127,8 +180,8 @@ func (s *Switch) armRATimer() {
 	})
 }
 
-// sendRA floods the low-priority ULA RA out of every port.
-func (s *Switch) sendRA() {
+// raFrame builds the low-priority ULA Router Advertisement.
+func (s *Switch) raFrame() netsim.Frame {
 	ra := &ndp.RouterAdvert{
 		CurHopLimit:    64,
 		RouterLifetime: 30 * time.Minute,
@@ -143,9 +196,25 @@ func (s *Switch) sendRA() {
 	}
 	body := (&packet.ICMP{Type: packet.ICMPv6RouterAdvert, Body: ra.Marshal()}).MarshalV6(s.linkLocal, ndp.AllNodes)
 	p := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: s.linkLocal, Dst: ndp.AllNodes, Payload: body}
-	s.InjectAll(netsim.Frame{
+	return netsim.Frame{
 		Src: s.mac, Dst: netsim.MAC(packet.MulticastMAC(ndp.AllNodes)),
 		EtherType: netsim.EtherTypeIPv6, Payload: p.Marshal(),
-	})
+	}
+}
+
+// sendRA floods the low-priority ULA RA out of every port.
+func (s *Switch) sendRA() {
+	s.InjectAll(s.raFrame())
+	s.RAsSent++
+}
+
+// sendRAPort transmits the ULA RA out of a single port (scoped RS
+// response). The receiving side — an access-switch trunk in fabric
+// worlds — floods it within its own broadcast domain only.
+func (s *Switch) sendRAPort(port int) {
+	if port < 0 || port >= s.NumPorts() {
+		return
+	}
+	s.PortNIC(port).Transmit(s.raFrame())
 	s.RAsSent++
 }

@@ -81,6 +81,19 @@ type Switch struct {
 	wantIPv6   portSet
 	groups     map[MAC]*portSet
 
+	// Fabric tier state. trunks marks ports cabled to another switch
+	// (MarkTrunk); with scopeTrunks set this switch delimits broadcast
+	// domains: no flood — multicast, broadcast or unknown unicast — ever
+	// egresses a trunk port. Known-unicast forwarding crosses trunks
+	// normally, so each access domain's floods stay local while learned
+	// conversations route through the fabric. freePorts recycles detached
+	// port slots (DetachPort) so a world that materializes and parks
+	// millions of transient hosts keeps a bounded port table.
+	trunks      portSet
+	scopeTrunks bool
+	freePorts   []int
+	detached    portSet
+
 	// scratch is the reusable eligibility mask for the flood fast path.
 	scratch []uint64
 
@@ -111,14 +124,94 @@ func (s *Switch) AddFilter(f FrameFilter) { s.filters = append(s.filters, f) }
 func (s *Switch) NumPorts() int { return len(s.ports) }
 
 // AttachPort creates a new switch port and cables it to the given NIC.
-// It returns the port index.
+// It returns the port index. Slots freed by DetachPort are reused
+// (most recently freed first) before the port table grows.
 func (s *Switch) AttachPort(peer *NIC) int {
+	if n := len(s.freePorts); n > 0 {
+		idx := s.freePorts[n-1]
+		s.freePorts = s.freePorts[:n-1]
+		s.detached.remove(idx)
+		s.net.Connect(s.ports[idx], peer)
+		s.syncPeerInterests(idx, peer)
+		return idx
+	}
 	idx := len(s.ports)
 	port := s.net.NewNIC(s.name+"-p"+itoa(idx), portHandler{s: s, port: idx})
 	s.ports = append(s.ports, port)
 	s.net.Connect(port, peer)
 	s.syncPeerInterests(idx, peer)
 	return idx
+}
+
+// DetachPort uncables a port and parks its slot for reuse. The peer
+// NIC's learned MAC-table entry and all of the port's snooped interest
+// state are purged, so the slot's next tenant starts clean. Frames
+// already in flight toward the detached peer are dropped at delivery,
+// exactly as for any unplugged NIC.
+func (s *Switch) DetachPort(idx int) {
+	port := s.ports[idx]
+	peer := port.peer
+	if peer == nil {
+		return
+	}
+	delete(s.table, peer.mac)
+	port.peer = nil
+	peer.peer = nil
+	s.restricted.remove(idx)
+	s.wantARP.remove(idx)
+	s.wantIPv4.remove(idx)
+	s.wantIPv6.remove(idx)
+	for g, ps := range s.groups {
+		ps.remove(idx)
+		if ps.empty() {
+			delete(s.groups, g)
+		}
+	}
+	s.detached.add(idx)
+	s.freePorts = append(s.freePorts, idx)
+}
+
+// Unlearn forgets a MAC-table entry (a parked fabric client's address,
+// learned here across a trunk). Harmless for unknown MACs.
+func (s *Switch) Unlearn(m MAC) { delete(s.table, m) }
+
+// PortOf returns the learned port for a MAC, if any (DHCP-snooping
+// features use it to direct server broadcasts at the client's port).
+func (s *Switch) PortOf(m MAC) (int, bool) {
+	p, ok := s.table[m]
+	return p, ok
+}
+
+// MarkTrunk flags a port as a trunk to another switch. Trunk ports only
+// take part in broadcast scoping when ScopeTrunks is also set.
+func (s *Switch) MarkTrunk(idx int) { s.trunks.add(idx) }
+
+// ScopeTrunks makes this switch delimit broadcast domains at its trunk
+// ports: floods (multicast, broadcast, unknown unicast) never egress a
+// trunk, regardless of ingress. Learned unicast still crosses trunks.
+// The distribution switch of a fabric sets this so one access domain's
+// DHCP storms and the spine's RA beacons stay out of every other
+// domain; domain devices are reached by scoped responses instead
+// (unicast RAs, per-ingress-trunk switch RAs).
+func (s *Switch) ScopeTrunks() { s.scopeTrunks = true }
+
+// IsTrunk reports whether a port was marked as a trunk.
+func (s *Switch) IsTrunk(idx int) bool { return s.trunks.has(idx) }
+
+// ConnectSwitches trunks two switches with a point-to-point link: a port
+// is created on each and cross-connected. It returns the new port index
+// on each side (a's first). Neither port is marked as a trunk — callers
+// decide which side scopes (typically MarkTrunk on the distribution
+// side).
+func ConnectSwitches(a, b *Switch) (aPort, bPort int) {
+	aPort = len(a.ports)
+	an := a.net.NewNIC(a.name+"-p"+itoa(aPort), portHandler{s: a, port: aPort})
+	a.ports = append(a.ports, an)
+	bPort = len(b.ports)
+	bn := b.net.NewNIC(b.name+"-p"+itoa(bPort), portHandler{s: b, port: bPort})
+	b.ports = append(b.ports, bn)
+	a.net.Connect(an, bn)
+	return aPort, bPort
 }
 
 // syncPeerInterests imports flood-interest declarations a NIC made
@@ -190,7 +283,10 @@ func (s *Switch) PortNIC(i int) *NIC { return s.ports[i] }
 // suppression applied); anything else falls back to per-port transmits.
 func (s *Switch) InjectAll(f Frame) {
 	if f.Src.IsZero() || !f.Dst.IsMulticast() {
-		for _, p := range s.ports {
+		for i, p := range s.ports {
+			if p.peer == nil || (s.scopeTrunks && s.trunks.has(i)) {
+				continue
+			}
 			p.Transmit(f)
 		}
 		return
@@ -301,8 +397,14 @@ func (s *Switch) floodUnicast(ingress int, f Frame) {
 		if i == ingress {
 			continue
 		}
+		if s.scopeTrunks && s.trunks.has(i) {
+			continue // floods never egress a trunk on a scoping switch
+		}
 		peer := p.peer
-		if peer != nil && peer.managed && peer.mac != f.Dst {
+		if peer == nil {
+			continue // detached slot awaiting reuse
+		}
+		if peer.managed && peer.mac != f.Dst {
 			if f.EtherType != EtherTypeARP || !peer.wantARP {
 				s.supUnicast++
 				continue
@@ -368,7 +470,14 @@ func (s *Switch) floodMulticast(ingress int, f Frame) {
 			s.supGroup += uint64(bits.OnesCount64(restricted & etw &^ gw))
 		}
 		s.supEther += uint64(bits.OnesCount64(restricted &^ etw))
-		mask[w] = ((^s.restricted.word(w) | interested) & all) &^ ing
+		mw := ((^s.restricted.word(w) | interested) & all) &^ ing
+		// Fabric exclusions: a scoping switch never floods out a trunk,
+		// and parked (detached) slots receive nothing.
+		if s.scopeTrunks {
+			mw &^= s.trunks.word(w)
+		}
+		mw &^= s.detached.word(w)
+		mask[w] = mw
 	}
 
 	for w, m := range mask {

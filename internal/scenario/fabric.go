@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/hoststack"
+	"repro/internal/testbed"
+)
+
+// This file is the fabric execution engine. On a hierarchical topology
+// (testbed.FabricTopology) a shard is no longer an arbitrary slice of
+// the device list but a subtree of the fabric: a contiguous group of
+// access switches, rebuilt as its own world with testbed.SubtreeTopology
+// so every kept switch retains its global Domain — and with it its DHCP
+// sub-pools, its device names and its profile stream. Per-domain state
+// is therefore a pure function of (seed, domain), which is what makes
+// the serial run and any subtree partition produce identical reports,
+// impairment included; MergeReports folds the per-subtree reports with
+// the same associative merge the flat engine uses.
+
+// FabricOptions parameterizes RunFabric.
+type FabricOptions struct {
+	// Seed feeds each domain's profile stream through deriveSeed(Seed,
+	// Domain), so a domain draws the same devices in every world that
+	// contains it.
+	Seed int64
+	// Mix weights the per-domain populations (default DefaultMix).
+	Mix []MixEntry
+	// ActorsPerDomain is how many of each access switch's registered
+	// clients actually run the workload (<= 0 or more than the switch
+	// has registered: all of them). Registered-but-idle rows stay parked
+	// ~31-byte table entries, which is how million-client worlds fit in
+	// one process while only a sample acts.
+	ActorsPerDomain int
+	// Shards is how many subtree worlds the access switches split
+	// across (default 1: one serial world).
+	Shards int
+	// Workers bounds concurrent subtree worlds (default GOMAXPROCS).
+	Workers int
+	// Run carries the per-device chaos options into every world.
+	Run RunOptions
+}
+
+// FabricDevices draws access switch as's acting population: actors
+// devices from the mix, named d<domain>-dev<i>-<profile>. The draw
+// depends only on (seed, as.Domain), never on which world the switch is
+// built into.
+func FabricDevices(seed int64, as testbed.AccessSwitchSpec, actors int, mix []MixEntry) []DeviceSpec {
+	if actors <= 0 || actors > as.Clients {
+		actors = as.Clients
+	}
+	devs := Population(deriveSeed(seed, as.Domain), actors, mix)
+	for i := range devs {
+		devs[i].Name = fmt.Sprintf("d%03d-%s", as.Domain, devs[i].Name)
+	}
+	return devs
+}
+
+// resolveActors clamps the per-domain actor count to the switch's
+// registered population.
+func resolveActors(opt FabricOptions, as testbed.AccessSwitchSpec) int {
+	if opt.ActorsPerDomain <= 0 || opt.ActorsPerDomain > as.Clients {
+		return as.Clients
+	}
+	return opt.ActorsPerDomain
+}
+
+// runFabricWorld runs the acting population of every access switch in
+// tb's world, one device at a time: materialize the row, run the trial,
+// park the row. Parking returns the device to its table row, so the
+// world never holds more than one full client Host at once.
+func runFabricWorld(tb *testbed.Testbed, opt FabricOptions) *Report {
+	r := newTrialRunner(tb, opt.Run)
+	fb := tb.Fabric
+	for i, as := range tb.Spec.Fabric.Access {
+		devs := FabricDevices(opt.Seed, as, resolveActors(opt, as), opt.Mix)
+		lo, _ := fb.Rows(i)
+		for j, spec := range devs {
+			row := lo + j
+			spec := spec
+			r.runTrial(spec, func() *hoststack.Host {
+				return fb.Materialize(row, spec.Name, spec.Profile)
+			})
+			fb.Park(row)
+		}
+	}
+	return r.finish()
+}
+
+// RunFabric executes the acting population of a fabric topology, either
+// serially on one world (Shards <= 1) or partitioned into contiguous
+// access-switch subtrees, each rebuilt as an independent world and run
+// inside a bounded worker pool. On the position-independent
+// FabricTopology the merged report equals the serial run's exactly —
+// the same contract RunSharded has on flat worlds, now with the
+// partition following the fabric's own structure.
+func RunFabric(full testbed.Topology, opt FabricOptions) (*Report, error) {
+	if !full.Fabric.Enabled() {
+		return nil, errors.New("scenario: RunFabric needs a fabric topology")
+	}
+	if opt.Mix == nil {
+		opt.Mix = DefaultMix()
+	}
+	access := len(full.Fabric.Access)
+	shards := opt.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > access {
+		shards = access
+	}
+
+	if shards == 1 {
+		tb, err := testbed.Build(full)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: building fabric world: %w", err)
+		}
+		defer tb.Close()
+		return runFabricWorld(tb, opt), nil
+	}
+
+	// Contiguous switch groups: concatenating them in index order walks
+	// the access switches exactly as the serial world does.
+	groups := make([][]int, 0, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := i*access/shards, (i+1)*access/shards
+		keep := make([]int, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			keep = append(keep, j)
+		}
+		groups = append(groups, keep)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	reports := make([]*Report, len(groups))
+	errs := make([]error, len(groups))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tb, err := testbed.Build(testbed.SubtreeTopology(full, groups[i]))
+				if err != nil {
+					errs[i] = fmt.Errorf("scenario: subtree shard %d: building world: %w", i, err)
+					continue
+				}
+				reports[i] = runFabricWorld(tb, opt)
+				tb.Close()
+			}
+		}()
+	}
+	for i := range groups {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	rep := MergeReports(reports...)
+	rep.Shards = make([]ShardInfo, len(groups))
+	for i, g := range groups {
+		n := 0
+		for _, sw := range g {
+			n += resolveActors(opt, full.Fabric.Access[sw])
+		}
+		rep.Shards[i] = ShardInfo{Index: i, Seed: deriveSeed(opt.Seed, i), Devices: n}
+	}
+	return rep, nil
+}

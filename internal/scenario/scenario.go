@@ -288,6 +288,33 @@ func attempt(c *hoststack.Host, spec DeviceSpec) (informed, internet, usedV6 boo
 // the next device starts from the same world conditions regardless of
 // which shard or position it runs in.
 func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report {
+	r := newTrialRunner(tb, opt)
+	for _, spec := range devices {
+		spec := spec
+		r.runTrial(spec, func() *hoststack.Host {
+			return tb.AddClient(spec.Name, spec.Profile)
+		})
+	}
+	return r.finish()
+}
+
+// trialRunner is the per-world engine both execution shapes share: the
+// flat path (RunWith attaches every device to the single switch) and
+// the fabric path (RunFabric materializes table rows on their access
+// switches). It owns the SSID monitor, the per-trial chaos machinery
+// and the report under construction; only how a device joins the world
+// differs, which runTrial takes as a closure.
+type trialRunner struct {
+	tb              *testbed.Testbed
+	mon             *metrics.SSIDMonitor
+	opt             RunOptions
+	churn           bool
+	align           bool
+	convergeTimeout time.Duration
+	rep             *Report
+}
+
+func newTrialRunner(tb *testbed.Testbed, opt RunOptions) *trialRunner {
 	mon := metrics.NewSSIDMonitor()
 	mon.Exclude(tb.Gateway.LANNIC().MAC())
 	mon.Exclude(tb.HealthyPi.MAC())
@@ -300,54 +327,72 @@ func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report 
 	if convergeTimeout <= 0 {
 		convergeTimeout = DefaultConvergeTimeout
 	}
+	return &trialRunner{
+		tb:    tb,
+		mon:   mon,
+		opt:   opt,
+		churn: churn,
+		// Impaired or churned trials are aligned to the beacon grid; with
+		// every knob off the classic run is reproduced untouched.
+		align:           churn || tb.Spec.Impair.Enabled(),
+		convergeTimeout: convergeTimeout,
+		rep:             &Report{},
+	}
+}
 
-	// Impaired or churned trials are aligned to the beacon grid; with
-	// every knob off the classic run is reproduced untouched.
-	align := churn || tb.Spec.Impair.Enabled()
+// runTrial runs one device trial: align, sample translator baselines,
+// join the world through the supplied closure, run the workload, and —
+// under churn — reboot, re-converge and clean up. The join closure runs
+// after the baseline sampling so per-device translator deltas account
+// bring-up traffic too.
+func (r *trialRunner) runTrial(spec DeviceSpec, join func() *hoststack.Host) {
+	tb := r.tb
+	if r.align {
+		alignToBeaconPhase(tb)
+	}
+	nat44Before := len(tb.Gateway.NAT44.Log)
+	nat64Before := tb.Gateway.NAT64.SessionCount()
 
-	rep := &Report{Joined: len(devices)}
-	for _, spec := range devices {
-		if align {
-			alignToBeaconPhase(tb)
-		}
-		nat44Before := len(tb.Gateway.NAT44.Log)
-		nat64Before := tb.Gateway.NAT64.SessionCount()
+	c := join()
+	dr := DeviceResult{Spec: spec}
+	dr.Informed, dr.Internet, dr.UsedIPv6 = attempt(c, spec)
 
-		c := tb.AddClient(spec.Name, spec.Profile)
-		dr := DeviceResult{Spec: spec}
-		dr.Informed, dr.Internet, dr.UsedIPv6 = attempt(c, spec)
-
-		if opt.Traffic != nil && dr.Internet && !spec.EcholinkOnly {
-			dr.Flows = runFlows(c, opt.Traffic)
-		}
-
-		if churn {
-			// Sample this device's translator footprint before reboots
-			// wipe it, so per-device deltas sum identically across any
-			// shard partition.
-			rep.NAT44LogEntries += len(tb.Gateway.NAT44.Log) - nat44Before
-			rep.NAT64Sessions += tb.Gateway.NAT64.SessionCount() - nat64Before
-
-			if dr.Informed || dr.Internet {
-				dr.Churned = true
-				for i := 0; i < opt.RebootsPerDevice; i++ {
-					tb.Gateway.Reboot()
-				}
-				dr.Reconverged, dr.ConvergeTime = probeConvergence(tb, c, spec, convergeTimeout)
-			}
-			cleanupReboots(tb)
-		}
-
-		dr.Class = mon.ClassOf(c.MAC())
-		if dr.Internet {
-			rep.InternetOK++
-		}
-		if dr.Informed {
-			rep.Informed++
-		}
-		rep.Devices = append(rep.Devices, dr)
+	if r.opt.Traffic != nil && dr.Internet && !spec.EcholinkOnly {
+		dr.Flows = runFlows(c, r.opt.Traffic)
 	}
 
+	if r.churn {
+		// Sample this device's translator footprint before reboots
+		// wipe it, so per-device deltas sum identically across any
+		// shard partition.
+		r.rep.NAT44LogEntries += len(tb.Gateway.NAT44.Log) - nat44Before
+		r.rep.NAT64Sessions += tb.Gateway.NAT64.SessionCount() - nat64Before
+
+		if dr.Informed || dr.Internet {
+			dr.Churned = true
+			for i := 0; i < r.opt.RebootsPerDevice; i++ {
+				tb.Gateway.Reboot()
+			}
+			dr.Reconverged, dr.ConvergeTime = probeConvergence(tb, c, spec, r.convergeTimeout)
+		}
+		cleanupReboots(tb)
+	}
+
+	dr.Class = r.mon.ClassOf(c.MAC())
+	if dr.Internet {
+		r.rep.InternetOK++
+	}
+	if dr.Informed {
+		r.rep.Informed++
+	}
+	r.rep.Joined++
+	r.rep.Devices = append(r.rep.Devices, dr)
+}
+
+// finish derives the aggregate fields from the accumulated device
+// results and returns the report.
+func (r *trialRunner) finish() *Report {
+	tb, rep := r.tb, r.rep
 	for _, dr := range rep.Devices {
 		if dr.Informed {
 			continue // informed devices leave the SSID
@@ -358,7 +403,7 @@ func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report 
 		}
 	}
 	rep.Overcount = rep.ReportedSSIDClients - rep.TrueIPv6Only
-	if !churn {
+	if !r.churn {
 		// Translator state survives the whole run: read the totals once.
 		rep.NAT44LogEntries = len(tb.Gateway.NAT44.Log)
 		rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
@@ -368,7 +413,7 @@ func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report 
 	for _, dr := range rep.Devices {
 		rep.Classes[dr.Class]++
 	}
-	if churn {
+	if r.churn {
 		rep.Convergence = make(map[metrics.Class]ClassConvergence)
 		for _, dr := range rep.Devices {
 			if !dr.Churned {
@@ -386,8 +431,8 @@ func RunWith(tb *testbed.Testbed, devices []DeviceSpec, opt RunOptions) *Report 
 			rep.Convergence[dr.Class] = cc
 		}
 	}
-	if opt.Traffic != nil {
-		rep.Traffic = buildTrafficReport(tb, rep.Devices, opt.Traffic)
+	if r.opt.Traffic != nil {
+		rep.Traffic = buildTrafficReport(tb, rep.Devices, r.opt.Traffic)
 	}
 	rep.PoisonLog = tb.PoisonLog
 	rep.HealthyLog = tb.HealthyLog

@@ -161,6 +161,10 @@ type Testbed struct {
 	poisonSwitch *switchableResolver
 
 	Clients []*hoststack.Host
+
+	// Fabric is the runtime access tier — non-nil only when the spec's
+	// FabricSpec is populated (see fabric.go).
+	Fabric *Fabric
 }
 
 // New assembles and starts the default world for opt. It is a thin

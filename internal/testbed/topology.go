@@ -65,6 +65,13 @@ type Topology struct {
 
 	// Churn schedules whole-world gateway reboots on the virtual clock.
 	Churn ChurnSpec
+
+	// Fabric, when populated, grows the world into a two-tier routed
+	// fabric: access switches trunked into the managed switch, flood
+	// scoping per access domain, per-domain DHCP sub-pools, and a lazy
+	// struct-of-arrays client table (see fabric.go). Zero value = the
+	// classic flat world, bit-identical to pre-fabric builds.
+	Fabric FabricSpec
 }
 
 // GatewaySpec parameterizes the 5G mobile internet gateway.
@@ -301,6 +308,9 @@ func (spec Topology) withDefaults() Topology {
 	if spec.SettleTime == 0 {
 		spec.SettleTime = def.SettleTime
 	}
+	if spec.Fabric.Enabled() && spec.Fabric.DomainStride == 0 {
+		spec.Fabric.DomainStride = 1024
+	}
 	return spec
 }
 
@@ -346,7 +356,7 @@ func (spec Topology) validate() error {
 			return fmt.Errorf("testbed: site %s has no address", s.Name)
 		}
 	}
-	return nil
+	return spec.validateFabric()
 }
 
 // Build assembles a spec into a running, settled world. Unlike the
@@ -423,6 +433,7 @@ func Build(spec Topology) (*Testbed, error) {
 		NAT64TCPTimeout:      spec.Gateway.NAT64TCPTimeout,
 		NAT64TCPTransTimeout: spec.Gateway.NAT64TCPTransTimeout,
 		NAT64ICMPTimeout:     spec.Gateway.NAT64ICMPTimeout,
+		ScopedRA:             spec.Fabric.Enabled(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("testbed: gateway: %w", err)
@@ -435,6 +446,7 @@ func Build(spec Topology) (*Testbed, error) {
 		ULAPrefix:    spec.Switch.ULAPrefix,
 		AdvertiseULA: spec.Opt.SwitchULARA,
 		SnoopDHCP:    spec.Opt.SnoopDHCP,
+		ScopedRS:     spec.Fabric.Enabled(),
 	})
 	gwPort := tb.Switch.AttachPort(gw.LANNIC())
 	if spec.Opt.SnoopDHCP {
@@ -445,6 +457,11 @@ func Build(spec Topology) (*Testbed, error) {
 	tb.buildPoisonPi(spec)
 	if err := tb.buildDHCPPi(spec); err != nil {
 		return nil, err
+	}
+	if spec.Fabric.Enabled() {
+		if err := tb.buildFabric(spec); err != nil {
+			return nil, err
+		}
 	}
 
 	if spec.Opt.RestrictIPv4 {

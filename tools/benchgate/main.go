@@ -1,14 +1,17 @@
-// Command benchgate is the benchmark allocation-regression gate: it
-// reads `go test -bench` output on stdin, loads a BENCH_N.json snapshot
-// named on the command line, and fails (exit 1) if any benchmark
-// present in both measures more than 10% above the snapshot's recorded
-// allocs/op. A snapshot value of 0 allocs/op is therefore gated
-// strictly — a single op of per-frame garbage on the ring drain loop
-// fails CI. Benchmarks in the snapshot that never appear on stdin also
-// fail, so a renamed or deleted benchmark cannot silently disarm the
-// gate.
+// Command benchgate is the benchmark regression gate: it reads `go test
+// -bench` output on stdin, loads a BENCH_N.json snapshot named on the
+// command line, and fails (exit 1) if any benchmark present in both
+// measures more than 10% above a snapshot-recorded metric. Two metrics
+// are gated, each only when the snapshot records it: allocs/op (the
+// allocation budget) and bytes/client (the fabric memory diet — the
+// marginal heap cost of one registered client in a million-client
+// world). A snapshot value of 0 is therefore gated strictly — a single
+// op of per-frame garbage on the ring drain loop fails CI. Benchmarks
+// in the snapshot that never appear on stdin also fail, as does a
+// recorded metric missing from a benchmark's output line, so a renamed
+// benchmark or a dropped ReportMetric cannot silently disarm the gate.
 //
-// Usage: go test -run '^$' -bench X -benchmem . | benchgate BENCH_4.json
+// Usage: go test -run '^$' -bench X -benchmem . | benchgate BENCH_4.json [BENCH_5.json ...]
 package main
 
 import (
@@ -20,10 +23,13 @@ import (
 	"strconv"
 )
 
-// measure is one recorded benchmark measurement; fields the gate does
-// not compare are ignored during decoding.
+// measure is one recorded benchmark measurement. Gated fields are
+// pointers: a snapshot records only the metrics a benchmark reports,
+// and the gate checks only what the snapshot records. Fields the gate
+// does not compare are ignored during decoding.
 type measure struct {
-	AllocsOp float64 `json:"allocs_op"`
+	AllocsOp    *float64 `json:"allocs_op"`
+	BytesClient *float64 `json:"bytes_client"`
 }
 
 // record is a snapshot entry: before/after measurements, either of
@@ -39,86 +45,131 @@ type snapshot struct {
 	Benchmarks map[string]record `json:"benchmarks"`
 }
 
-// slack is the multiplicative tolerance applied to recorded allocs/op:
+// slack is the multiplicative tolerance applied to recorded metrics:
 // deterministic simulations still see small GC/sync.Pool jitter, and
-// 0-alloc records stay strict because 0*1.1 is still 0.
+// 0-valued records stay strict because 0*1.1 is still 0.
 const slack = 1.10
 
-// benchLine matches one benchmark result line. The first group is the
-// benchmark name with any -GOMAXPROCS suffix stripped; the second is
-// the allocs/op figure (always printed: every benchmark in this repo
-// calls b.ReportAllocs).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s.*?(\d+(?:\.\d+)?) allocs/op`)
+// benchName matches a benchmark result line and captures the name with
+// any -GOMAXPROCS suffix stripped.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s`)
+
+// metric describes one gated metric: how to find it on a result line
+// and how to read it out of a snapshot measure.
+type metric struct {
+	name string
+	line *regexp.Regexp
+	get  func(*measure) *float64
+}
+
+var metrics = []metric{
+	{
+		name: "allocs/op",
+		line: regexp.MustCompile(`(\d+(?:\.\d+)?) allocs/op`),
+		get:  func(m *measure) *float64 { return m.AllocsOp },
+	},
+	{
+		name: "bytes/client",
+		line: regexp.MustCompile(`(\d+(?:\.\d+)?) bytes/client`),
+		get:  func(m *measure) *float64 { return m.BytesClient },
+	},
+}
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: go test -bench ... -benchmem | benchgate BENCH_N.json")
-		os.Exit(2)
-	}
-	raw, err := os.ReadFile(os.Args[1])
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", os.Args[1], err)
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench ... -benchmem | benchgate BENCH_N.json [BENCH_M.json ...]")
 		os.Exit(2)
 	}
 
-	want := make(map[string]float64)
-	for name, rec := range snap.Benchmarks {
-		m := rec.After
-		if m == nil {
-			m = rec.Before
+	// want[benchmark][metric] = recorded limit.
+	want := make(map[string]map[string]float64)
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
 		}
-		if m != nil {
-			want[name] = m.AllocsOp
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for name, rec := range snap.Benchmarks {
+			m := rec.After
+			if m == nil {
+				m = rec.Before
+			}
+			if m == nil {
+				continue
+			}
+			for _, g := range metrics {
+				if v := g.get(m); v != nil {
+					if want[name] == nil {
+						want[name] = make(map[string]float64)
+					}
+					want[name][g.name] = *v
+				}
+			}
 		}
 	}
 	if len(want) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s records no gateable benchmarks\n", os.Args[1])
+		fmt.Fprintln(os.Stderr, "benchgate: snapshots record no gateable benchmarks")
 		os.Exit(2)
 	}
 
 	failed := false
-	seen := make(map[string]bool)
+	seen := make(map[string]map[string]bool)
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the bench output through for the CI log
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		nm := benchName.FindStringSubmatch(line)
+		if nm == nil {
 			continue
 		}
-		name := m[1]
-		limit, gated := want[name]
+		name := nm[1]
+		limits, gated := want[name]
 		if !gated {
 			continue
 		}
-		seen[name] = true
-		got, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: %s: unparsable allocs/op %q\n", name, m[2])
-			failed = true
-			continue
+		if seen[name] == nil {
+			seen[name] = make(map[string]bool)
 		}
-		if got > limit*slack {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op exceeds snapshot %.0f (+10%% slack)\n",
-				name, got, limit)
-			failed = true
-		} else {
-			fmt.Fprintf(os.Stderr, "benchgate: ok   %s: %.0f allocs/op (snapshot %.0f)\n", name, got, limit)
+		for _, g := range metrics {
+			limit, ok := limits[g.name]
+			if !ok {
+				continue
+			}
+			m := g.line.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			seen[name][g.name] = true
+			got, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: unparsable %s %q\n", name, g.name, m[1])
+				failed = true
+				continue
+			}
+			if got > limit*slack {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.2f %s exceeds snapshot %.2f (+10%% slack)\n",
+					name, got, g.name, limit)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchgate: ok   %s: %.2f %s (snapshot %.2f)\n", name, got, g.name, limit)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: reading stdin: %v\n", err)
 		os.Exit(2)
 	}
-	for name := range want {
-		if !seen[name] {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: recorded in snapshot but absent from bench output\n", name)
-			failed = true
+	for name, limits := range want {
+		for mname := range limits {
+			if !seen[name][mname] {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %s recorded in snapshot but absent from bench output\n", name, mname)
+				failed = true
+			}
 		}
 	}
 	if failed {
