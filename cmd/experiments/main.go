@@ -16,6 +16,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/httpsim"
 	"repro/internal/metrics"
+	"repro/internal/pathology"
 	"repro/internal/portal"
 	"repro/internal/profiles"
 	"repro/internal/scenario"
@@ -28,33 +29,69 @@ type experiment struct {
 	run   func()
 }
 
-func main() {
-	exps := []experiment{
-		{"fig2", "IPv4-literal application on the v6 SSID (Echolink)", fig2},
-		{"fig3", "5G gateway RA with dead ULA RDNSS", fig3},
-		{"fig4", "full testbed topology bring-up", fig4},
-		{"fig5", "erroneous test-ipv6 10/10 via poisoned DNS", fig5},
-		{"fig6", "IPv4-only Nintendo Switch receives the intervention", fig6},
-		{"fig7", "Windows XP works via poisoned DNS64 + NAT64", fig7},
-		{"fig8", "VPN split-tunnel vs restricted IPv4", fig8},
-		{"fig9", "poisoned answers for non-existent FQDNs", fig9},
-		{"fig10", "resolver preference decides exposure to poisoning", fig10},
-		{"fig11", "0/10 test-ipv6 score over the VPN", fig11},
-		{"tabA", "device-class outcome matrix (paper §V)", tabA},
-		{"tabB", "SC23 vs SC24 client counting accuracy (paper §III.A)", tabB},
-		{"ablA", "ablation: dnsmasq wildcard vs BIND9 RPZ poisoning", ablA},
-		{"ablB", "ablation: buggy vs fixed mirror scoring", ablB},
-		{"tabC", "M-21-31 NAT44 logging burden vs IPv6 adoption", tabC},
-		{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
-		{"scale", "sharded vs serial conference-floor run (equality + timing)", scale},
-		{"fabric", "hierarchical fabric sweep: access switches × clients per switch (DESIGN.md §3e)", fabric},
-		{"chaos", "loss × gateway-reboot degradation matrix (DESIGN.md §3b)", chaos},
-		{"traffic", "heavy streaming flows through every translator (DESIGN.md §3d)", traffic},
-	}
+// exps is the single source of truth for the experiment set; usageText
+// renders it, so the README flags reference (pinned by TestUsagePinnedInREADME)
+// cannot drift from this table.
+var exps = []experiment{
+	{"fig2", "IPv4-literal application on the v6 SSID (Echolink)", fig2},
+	{"fig3", "5G gateway RA with dead ULA RDNSS", fig3},
+	{"fig4", "full testbed topology bring-up", fig4},
+	{"fig5", "erroneous test-ipv6 10/10 via poisoned DNS", fig5},
+	{"fig6", "IPv4-only Nintendo Switch receives the intervention", fig6},
+	{"fig7", "Windows XP works via poisoned DNS64 + NAT64", fig7},
+	{"fig8", "VPN split-tunnel vs restricted IPv4", fig8},
+	{"fig9", "poisoned answers for non-existent FQDNs", fig9},
+	{"fig10", "resolver preference decides exposure to poisoning", fig10},
+	{"fig11", "0/10 test-ipv6 score over the VPN", fig11},
+	{"tabA", "device-class outcome matrix (paper §V)", tabA},
+	{"tabB", "SC23 vs SC24 client counting accuracy (paper §III.A)", tabB},
+	{"ablA", "ablation: dnsmasq wildcard vs BIND9 RPZ poisoning", ablA},
+	{"ablB", "ablation: buggy vs fixed mirror scoring", ablB},
+	{"tabC", "M-21-31 NAT44 logging burden vs IPv6 adoption", tabC},
+	{"tabD", "Windows 11 refresh (RFC 8925) adoption sweep (paper §VII)", tabD},
+	{"scale", "sharded vs serial conference-floor run (equality + timing)", scale},
+	{"fabric", "hierarchical fabric sweep: access switches × clients per switch (DESIGN.md §3e)", fabric},
+	{"chaos", "loss × gateway-reboot degradation matrix (DESIGN.md §3b)", chaos},
+	{"traffic", "heavy streaming flows through every translator (DESIGN.md §3d)", traffic},
+	{"pathology", "pathology × profile degradation matrix + fingerprints (DESIGN.md §3f)", pathologyExp},
+}
 
+// pathologyTarget holds the <name> from -pathology=<name>; empty means
+// the full sweep.
+var pathologyTarget string
+
+// usageText is the generated flags reference. It is printed for
+// -h/-help/help and pinned verbatim inside README.md's
+// experiments-flags block, so the docs and the binary cannot diverge
+// silently.
+func usageText() string {
+	var b strings.Builder
+	b.WriteString("usage: experiments [experiment ...]\n\n")
+	b.WriteString("Runs every experiment when invoked with no arguments, or the named subset:\n\n")
+	for _, e := range exps {
+		fmt.Fprintf(&b, "  %-11s %s\n", e.id, e.title)
+	}
+	b.WriteString("\nFlags:\n")
+	fmt.Fprintf(&b, "  -pathology=<name>  fingerprint a single registered pathology and decode it\n")
+	fmt.Fprintf(&b, "                     (the PATHOLOGIES.md repro command); names: %s\n",
+		strings.Join(pathology.Names(), ", "))
+	fmt.Fprintf(&b, "  -h, -help          print this reference\n")
+	return b.String()
+}
+
+func main() {
 	want := map[string]bool{}
 	for _, a := range os.Args[1:] {
-		want[strings.TrimLeft(a, "-")] = true
+		a = strings.TrimLeft(a, "-")
+		if a == "h" || a == "help" {
+			fmt.Print(usageText())
+			return
+		}
+		if k, v, ok := strings.Cut(a, "="); ok && k == "pathology" {
+			pathologyTarget = v
+			a = k
+		}
+		want[a] = true
 	}
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {
@@ -513,6 +550,69 @@ func traffic() {
 	fmt.Println("shape: downloads dominate NAT64 inbound bytes; churned flows stop generating")
 	fmt.Println("       at the server's next pace tick; every per-class byte count merges")
 	fmt.Println("       shard-exactly (TestTrafficShardedMatchesSerial)")
+}
+
+func pathologyExp() {
+	if pathologyTarget != "" {
+		pathologyDetail(pathologyTarget)
+		return
+	}
+	fmt.Println("engine: install each registered DNS/NAT64/delegation failure mode into fresh")
+	fmt.Println("        worlds and sweep the default population across it; every cell is a")
+	fmt.Println("        deterministic sharded run, documented verbatim in EXPERIMENTS.md §bench6")
+	m, err := scenario.PathologySweep(scenario.PathologyConfig{Seed: 1, N: 24, Shards: 4})
+	if err != nil {
+		fmt.Printf("measured: pathology sweep error %v\n", err)
+		return
+	}
+	fmt.Print(m.String())
+	fmt.Println()
+	fmt.Println("mirror fingerprints (ScoreFixed points per canonical profile, PATHOLOGIES.md):")
+	fingerprintTable()
+	fmt.Println("shape: checksum corruption guts ordinary browsing; v4-path interference and the")
+	fmt.Println("       mismatched DNS64 prefix only flip the v4-DNS-preferring tail onto the")
+	fmt.Println("       intervention page; delegation and PTB failures are invisible to plain page")
+	fmt.Println("       fetches — only the mirror's probe suite (the fingerprint) exposes them")
+}
+
+func fingerprintTable() {
+	fmt.Printf("measured: %-26s %-13s %s\n", "pathology", "mac/W10/W11/XP/NSw/v6Lnx", "codes")
+	for _, name := range pathology.Names() {
+		f, err := pathology.Compute(name)
+		if err != nil {
+			fmt.Printf("measured: %-26s error %v\n", name, err)
+			continue
+		}
+		fmt.Printf("measured: %-26s %-13s %s\n", name, f.String(), strings.Join(f.Codes[:], " "))
+	}
+}
+
+func pathologyDetail(name string) {
+	p, ok := pathology.Get(name)
+	if !ok {
+		fmt.Printf("unknown pathology %q; registered: %s\n", name, strings.Join(pathology.Names(), ", "))
+		return
+	}
+	fmt.Printf("pathology: %s\n", p.Name)
+	fmt.Printf("source:    %s\n", p.Source)
+	fmt.Printf("mechanism: %s\n", p.Mechanism)
+	f, err := pathology.Compute(name)
+	if err != nil {
+		fmt.Printf("measured: fingerprint error %v\n", err)
+		return
+	}
+	profs := pathology.FingerprintProfiles()
+	for i, prof := range profs {
+		fmt.Printf("measured: %-18s score=%-2d codes=%s\n", prof.Name, f.Points[i], f.Codes[i])
+	}
+	fmt.Printf("measured: fingerprint vector %s\n", f.String())
+	d, err := pathology.NewDecoder()
+	if err != nil {
+		fmt.Printf("measured: decoder error %v\n", err)
+		return
+	}
+	decoded, ok := d.Decode(f.Points)
+	fmt.Printf("measured: decoder maps the vector back to %q (ok=%v)\n", decoded, ok)
 }
 
 func firstLine(b []byte) string {

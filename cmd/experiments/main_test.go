@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestUsagePinnedInREADME keeps the README's generated flags reference
+// byte-identical to what the binary actually prints for -help. The
+// experiment table and the pathology registry both feed usageText, so
+// adding an experiment or a pathology without regenerating the README
+// block fails here instead of drifting silently.
+func TestUsagePinnedInREADME(t *testing.T) {
+	const (
+		begin = "<!-- experiments-flags:begin -->"
+		end   = "<!-- experiments-flags:end -->"
+	)
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(b)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s block", begin, end)
+	}
+	block := strings.TrimSpace(readme[i+len(begin) : j])
+	block = strings.TrimPrefix(block, "```")
+	block = strings.TrimSuffix(block, "```")
+	block = strings.TrimSpace(block)
+
+	want := strings.TrimSpace(usageText())
+	if block != want {
+		t.Errorf("README experiments-flags block is stale.\n--- README ---\n%s\n--- binary -help ---\n%s\n"+
+			"regenerate with: go run ./cmd/experiments -help", block, want)
+	}
+}
+
+// TestUsageListsEveryExperiment guards the generator itself: every
+// experiment id must appear in the reference, and the pathology flag
+// must list every registered name.
+func TestUsageListsEveryExperiment(t *testing.T) {
+	u := usageText()
+	for _, e := range exps {
+		if !strings.Contains(u, "  "+e.id) {
+			t.Errorf("usage text missing experiment %q", e.id)
+		}
+	}
+	for _, name := range []string{"none", "nat64-checksum-corruption", "delegation-no-aaaa"} {
+		if !strings.Contains(u, name) {
+			t.Errorf("usage text missing pathology name %q", name)
+		}
+	}
+}

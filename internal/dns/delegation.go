@@ -1,0 +1,108 @@
+package dns
+
+import (
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// NSProfile describes the nameserver a zone is delegated to, reduced to
+// the two properties Streibelt et al. ("How Ready Is DNS for an
+// IPv6-Only World?") measured at scale: whether the server has an AAAA
+// record at all, and — when its name lives inside the zone it serves
+// (in bailiwick) — whether the parent publishes glue for it.
+type NSProfile struct {
+	// Name is the nameserver's fully qualified name. When it is a
+	// subdomain of the delegated zone the delegation is in bailiwick and
+	// resolving it requires glue.
+	Name string
+	// HasAAAA reports whether the nameserver is reachable over IPv6.
+	HasAAAA bool
+	// HasGlue reports whether the parent zone carries address glue for
+	// an in-bailiwick nameserver. Without it the delegation is circular:
+	// resolving the NS name needs the very zone it serves.
+	HasGlue bool
+}
+
+// Delegated wraps a resolver with an explicit delegation step, modeling
+// the resolution chains Streibelt et al. found broken in the wild. For
+// each registered zone the wrapper decides whether a recursive resolver
+// could actually reach the zone's nameserver; if not, every query for a
+// name under that zone answers SERVFAIL — the upstream is never
+// consulted, because the recursor has no server to ask.
+//
+// Two independent conditions kill a delegation:
+//
+//   - the recursor's transport is IPv6-only and the nameserver has no
+//     AAAA record (the headline finding: a third of popular zones were
+//     unresolvable from v6-only vantage points), or
+//   - the nameserver is in bailiwick and the parent lacks glue, so its
+//     address cannot be learned without already having it.
+type Delegated struct {
+	// Inner answers queries whose delegations are healthy (or that fall
+	// under no registered zone).
+	Inner Resolver
+	// V6OnlyTransport marks the recursing resolver as having IPv6-only
+	// connectivity to the authoritative servers — the vantage point the
+	// paper's testbed resolver actually has.
+	V6OnlyTransport bool
+
+	// Broken counts queries refused because their zone's delegation was
+	// unreachable.
+	Broken uint64
+
+	zones map[string]NSProfile
+}
+
+// NewDelegated wraps inner with an empty delegation table.
+func NewDelegated(inner Resolver) *Delegated {
+	return &Delegated{Inner: inner, zones: make(map[string]NSProfile)}
+}
+
+// Delegate registers zone as served by ns. Queries at or under zone are
+// answered only if ns is reachable from this resolver's vantage point.
+func (d *Delegated) Delegate(zone string, ns NSProfile) {
+	if d.zones == nil {
+		d.zones = make(map[string]NSProfile)
+	}
+	d.zones[dnswire.CanonicalName(zone)] = ns
+}
+
+// Resolve implements Resolver: queries under a zone whose delegation is
+// dead answer SERVFAIL; everything else passes through to Inner.
+func (d *Delegated) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	name := dnswire.CanonicalName(q.Name)
+	for zone, ns := range d.zones {
+		if !underZone(name, zone) {
+			continue
+		}
+		if !d.reachable(ns, zone) {
+			d.Broken++
+			return ServFail(), nil
+		}
+	}
+	if d.Inner == nil {
+		return nil, ErrNoUpstream
+	}
+	return d.Inner.Resolve(q)
+}
+
+// reachable decides whether the recursor can talk to ns for zone.
+func (d *Delegated) reachable(ns NSProfile, zone string) bool {
+	if d.V6OnlyTransport && !ns.HasAAAA {
+		return false
+	}
+	if underZone(dnswire.CanonicalName(ns.Name), zone) && !ns.HasGlue {
+		return false
+	}
+	return true
+}
+
+// underZone reports whether name equals zone or is a subdomain of it.
+// Both arguments must already be canonical.
+func underZone(name, zone string) bool {
+	if name == zone {
+		return true
+	}
+	return strings.HasSuffix(name, "."+zone)
+}

@@ -1,0 +1,89 @@
+package dns
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+func delegatedFixture() *Delegated {
+	inner := NewStatic(
+		dnswire.RR{Name: "www.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 60, Addr: netip.MustParseAddr("2001:db8::1")},
+		dnswire.RR{Name: "other.org", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, Addr: netip.MustParseAddr("192.0.2.1")},
+	)
+	return NewDelegated(inner)
+}
+
+func TestDelegatedHealthyZonePassesThrough(t *testing.T) {
+	d := delegatedFixture()
+	d.V6OnlyTransport = true
+	d.Delegate("example.com", NSProfile{Name: "ns.example.net", HasAAAA: true, HasGlue: false})
+
+	resp, err := d.Resolve(dnswire.Question{Name: "www.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN})
+	if err != nil || resp.Rcode != dnswire.RcodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("healthy delegation: resp=%+v err=%v", resp, err)
+	}
+	if d.Broken != 0 {
+		t.Errorf("Broken = %d, want 0", d.Broken)
+	}
+}
+
+func TestDelegatedNoAAAAOnV6OnlyTransport(t *testing.T) {
+	d := delegatedFixture()
+	d.V6OnlyTransport = true
+	d.Delegate("example.com", NSProfile{Name: "ns.example.net", HasAAAA: false, HasGlue: true})
+
+	for _, q := range []dnswire.Question{
+		{Name: "www.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN},
+		{Name: "www.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		{Name: "example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN},
+	} {
+		resp, err := d.Resolve(q)
+		if err != nil || resp.Rcode != dnswire.RcodeServFail {
+			t.Errorf("%v: resp=%+v err=%v, want SERVFAIL", q, resp, err)
+		}
+	}
+	if d.Broken != 3 {
+		t.Errorf("Broken = %d, want 3", d.Broken)
+	}
+
+	// A dual-stack recursor can still reach the v4-only nameserver.
+	d.V6OnlyTransport = false
+	if resp, err := d.Resolve(dnswire.Question{Name: "www.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN}); err != nil || resp.Rcode != dnswire.RcodeSuccess {
+		t.Errorf("dual-stack transport: resp=%+v err=%v, want success", resp, err)
+	}
+}
+
+func TestDelegatedInBailiwickWithoutGlue(t *testing.T) {
+	d := delegatedFixture()
+	// ns.example.com lives under the zone it serves: without glue the
+	// delegation is circular regardless of transport.
+	d.Delegate("example.com", NSProfile{Name: "ns.example.com", HasAAAA: true, HasGlue: false})
+
+	resp, err := d.Resolve(dnswire.Question{Name: "www.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN})
+	if err != nil || resp.Rcode != dnswire.RcodeServFail {
+		t.Fatalf("glueless in-bailiwick: resp=%+v err=%v, want SERVFAIL", resp, err)
+	}
+
+	// With glue the same delegation works.
+	d.Delegate("example.com", NSProfile{Name: "ns.example.com", HasAAAA: true, HasGlue: true})
+	if resp, err := d.Resolve(dnswire.Question{Name: "www.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN}); err != nil || resp.Rcode != dnswire.RcodeSuccess {
+		t.Errorf("glued delegation: resp=%+v err=%v, want success", resp, err)
+	}
+}
+
+func TestDelegatedOtherZonesUnaffected(t *testing.T) {
+	d := delegatedFixture()
+	d.V6OnlyTransport = true
+	d.Delegate("example.com", NSProfile{Name: "ns6.example.com", HasAAAA: false, HasGlue: false})
+
+	resp, err := d.Resolve(dnswire.Question{Name: "other.org", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if err != nil || resp.Rcode != dnswire.RcodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("unrelated zone: resp=%+v err=%v", resp, err)
+	}
+	// A name that merely shares a suffix string is not under the zone.
+	if resp, _ := d.Resolve(dnswire.Question{Name: "notexample.com", Type: dnswire.TypeA, Class: dnswire.ClassIN}); resp.Rcode == dnswire.RcodeServFail {
+		t.Error("suffix-string sibling notexample.com treated as under example.com")
+	}
+}

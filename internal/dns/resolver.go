@@ -28,16 +28,38 @@ func (fn ResolverFunc) Resolve(q dnswire.Question) (*dnswire.Message, error) { r
 // ErrNoUpstream reports a forwarding resolver with nowhere to send.
 var ErrNoUpstream = errors.New("dns: no upstream configured")
 
+// ErrDrop instructs the serving glue to discard the query without
+// answering at all — not even SERVFAIL. Resolvers return it (wrapped or
+// bare) to model on-path interference that silently eats packets; the
+// querying client sees a timeout, exactly as Martiny et al. observed
+// for asymmetric resolver interference in the wild.
+var ErrDrop = errors.New("dns: drop query silently")
+
 // Respond builds the response for req by routing its first question
 // through r. Malformed or empty questions yield FORMERR; resolver errors
 // yield SERVFAIL. This is the glue a UDP server loop calls.
 func Respond(r Resolver, req *dnswire.Message) *dnswire.Message {
+	resp := RespondOrDrop(r, req)
+	if resp == nil {
+		resp = dnswire.ReplyTo(req)
+		resp.Rcode = dnswire.RcodeServFail
+	}
+	return resp
+}
+
+// RespondOrDrop is Respond for transports that can stay silent: a
+// resolver error matching ErrDrop yields a nil response and the caller
+// must send nothing, leaving the client to time out.
+func RespondOrDrop(r Resolver, req *dnswire.Message) *dnswire.Message {
 	resp := dnswire.ReplyTo(req)
 	if len(req.Questions) != 1 {
 		resp.Rcode = dnswire.RcodeFormErr
 		return resp
 	}
 	ans, err := r.Resolve(req.Questions[0])
+	if errors.Is(err, ErrDrop) {
+		return nil
+	}
 	if err != nil {
 		resp.Rcode = dnswire.RcodeServFail
 		return resp
@@ -58,6 +80,13 @@ func NoError() *dnswire.Message {
 // NXDomain returns an NXDOMAIN response.
 func NXDomain() *dnswire.Message {
 	return &dnswire.Message{Response: true, Rcode: dnswire.RcodeNXDomain}
+}
+
+// ServFail returns a SERVFAIL response — what a recursive resolver
+// answers when it cannot complete resolution (for example because a
+// delegation points at a nameserver it cannot reach).
+func ServFail() *dnswire.Message {
+	return &dnswire.Message{Response: true, Rcode: dnswire.RcodeServFail}
 }
 
 // SingleAnswer returns a NOERROR response carrying exactly one answer

@@ -1,0 +1,44 @@
+package dnspoison
+
+import (
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+// Interference models the transport-asymmetric resolver interference
+// Martiny et al. measured: an on-path middlebox silently discards
+// queries of selected types while letting the rest through, so a client
+// sees some record types answer instantly and others time out on the
+// same resolver. The wrapper sits in front of any resolver and returns
+// dns.ErrDrop for matching query types; serving glue that honors the
+// sentinel (hoststack.AttachDNSServer, the gateway DNS proxy) then sends
+// no response at all.
+type Interference struct {
+	// Upstream answers every query the middlebox lets through.
+	Upstream dns.Resolver
+	// DropTypes lists the query types silently discarded.
+	DropTypes []uint16
+
+	// Dropped counts queries eaten by the middlebox.
+	Dropped uint64
+}
+
+// NewInterference builds an Interference dropping the given query types.
+func NewInterference(upstream dns.Resolver, types ...uint16) *Interference {
+	return &Interference{Upstream: upstream, DropTypes: types}
+}
+
+// Resolve implements dns.Resolver: matching query types yield
+// dns.ErrDrop, everything else is forwarded upstream.
+func (i *Interference) Resolve(q dnswire.Question) (*dnswire.Message, error) {
+	for _, t := range i.DropTypes {
+		if q.Type == t {
+			i.Dropped++
+			return nil, dns.ErrDrop
+		}
+	}
+	if i.Upstream == nil {
+		return nil, dns.ErrNoUpstream
+	}
+	return i.Upstream.Resolve(q)
+}

@@ -1,0 +1,45 @@
+package dnspoison
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+func TestInterferenceDropsSelectedTypes(t *testing.T) {
+	inner := dns.NewStatic(
+		dnswire.RR{Name: "host.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, Addr: netip.MustParseAddr("192.0.2.1")},
+		dnswire.RR{Name: "host.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 60, Addr: netip.MustParseAddr("2001:db8::1")},
+	)
+	i := NewInterference(inner, dnswire.TypeAAAA)
+
+	if _, err := i.Resolve(dnswire.Question{Name: "host.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN}); !errors.Is(err, dns.ErrDrop) {
+		t.Fatalf("AAAA err = %v, want dns.ErrDrop", err)
+	}
+	resp, err := i.Resolve(dnswire.Question{Name: "host.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("A: resp=%+v err=%v, want untouched answer", resp, err)
+	}
+	if i.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", i.Dropped)
+	}
+}
+
+// TestInterferenceDropStaysSilent pins the serving-glue contract: a
+// dropped query produces no response message at all, not SERVFAIL —
+// that is what makes the client retry into a timeout, as measured.
+func TestInterferenceDropStaysSilent(t *testing.T) {
+	i := NewInterference(dns.NewStatic(), dnswire.TypeAAAA)
+	req := &dnswire.Message{Questions: []dnswire.Question{{Name: "x.example.com", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN}}}
+	if resp := dns.RespondOrDrop(i, req); resp != nil {
+		t.Fatalf("RespondOrDrop = %+v, want nil (silent drop)", resp)
+	}
+	// The plain Respond glue (used where silence is impossible) must
+	// degrade to SERVFAIL rather than crash.
+	if resp := dns.Respond(i, req); resp == nil || resp.Rcode != dnswire.RcodeServFail {
+		t.Fatalf("Respond = %+v, want SERVFAIL fallback", resp)
+	}
+}

@@ -105,7 +105,8 @@ type Gateway struct {
 
 	raTimer *netsim.Timer
 
-	blockNAT44 bool
+	blockNAT44  bool
+	suppressPTB bool
 
 	// Counters.
 	RAsSent       uint64
@@ -114,6 +115,10 @@ type Gateway struct {
 	DroppedULASrc uint64
 	ACLDropped    uint64
 	PTBSent       uint64
+	// PTBSuppressed counts Packet Too Big errors the gateway swallowed
+	// while SuppressPTB was active (each one an oversized packet dropped
+	// with no signal to the sender).
+	PTBSuppressed uint64
 }
 
 // BlockNAT44 applies the paper §VI "further restrict IPv4 internet" ACL:
@@ -468,7 +473,10 @@ func (g *Gateway) handleDNSProxy(f netsim.Frame, p *packet.IPv4, u *packet.UDP) 
 	if err != nil || req.Response {
 		return
 	}
-	resp := dns.Respond(g.cfg.CarrierDNS, req)
+	resp := dns.RespondOrDrop(g.cfg.CarrierDNS, req)
+	if resp == nil {
+		return // dns.ErrDrop: interference; no response at all
+	}
 	wire, err := resp.Marshal()
 	if err != nil {
 		return
@@ -554,8 +562,18 @@ func (g *Gateway) ptbBody(p *packet.IPv6) []byte {
 	return append(body, orig...)
 }
 
+// SuppressPTB turns off Packet Too Big generation in both directions:
+// oversized packets are dropped with no ICMPv6 error, the classic
+// MTU black hole Hsu et al. measured on deployed NAT64 paths. Path MTU
+// discovery then never converges and large transfers stall forever.
+func (g *Gateway) SuppressPTB(on bool) { g.suppressPTB = on }
+
 // sendPTBToLAN answers an oversized LAN-originated packet.
 func (g *Gateway) sendPTBToLAN(f netsim.Frame, p *packet.IPv6) {
+	if g.suppressPTB {
+		g.PTBSuppressed++
+		return
+	}
 	body := (&packet.ICMP{Type: packet.ICMPv6PacketTooBig, Body: g.ptbBody(p)}).MarshalV6(g.linkLocal, p.Src)
 	reply := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: g.linkLocal, Dst: p.Src, Payload: body}
 	g.lan.Transmit(netsim.Frame{Dst: f.Src, EtherType: netsim.EtherTypeIPv6, Payload: reply.Marshal()})
@@ -565,6 +583,10 @@ func (g *Gateway) sendPTBToLAN(f netsim.Frame, p *packet.IPv6) {
 // sendPTBToWAN answers an oversized WAN-originated packet. The error is
 // sourced from the gateway's WAN link-local.
 func (g *Gateway) sendPTBToWAN(p *packet.IPv6) {
+	if g.suppressPTB {
+		g.PTBSuppressed++
+		return
+	}
 	src := ndp.LinkLocal(g.wan.MAC())
 	body := (&packet.ICMP{Type: packet.ICMPv6PacketTooBig, Body: g.ptbBody(p)}).MarshalV6(src, p.Src)
 	reply := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: src, Dst: p.Src, Payload: body}

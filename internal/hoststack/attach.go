@@ -18,7 +18,12 @@ func AttachDNSServer(h *Host, r dns.Resolver) {
 		if err != nil || req.Response {
 			return
 		}
-		resp := dns.Respond(r, req)
+		resp := dns.RespondOrDrop(r, req)
+		if resp == nil {
+			// dns.ErrDrop: interference ate the query; stay silent so the
+			// client times out instead of seeing SERVFAIL.
+			return
+		}
 		wire, err := resp.Marshal()
 		if err != nil {
 			return

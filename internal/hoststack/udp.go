@@ -111,7 +111,7 @@ func (h *Host) Query(dst netip.Addr, dstPort uint16, payload []byte, timeout tim
 		return nil, err
 	}
 	defer h.UnbindUDP(lport)
-	if !h.Net.RunUntil(func() bool { return done }, timeout) {
+	if !h.Net.WaitUntil(func() bool { return done }, timeout) {
 		return nil, ErrTimeout
 	}
 	return resp, nil

@@ -98,6 +98,15 @@ type Translator struct {
 	// all sessions, per direction.
 	BytesOut uint64
 	BytesIn  uint64
+
+	// CorruptChecksums makes every translated v6→v4 packet leave with a
+	// broken L4 checksum, reproducing the recomputation bug Hsu et al.
+	// ("A First Look at NAT64 Deployment in the Wild") observed in
+	// deployed translators: receivers verify and silently discard, so
+	// every translated flow stalls while native IPv6 is untouched.
+	CorruptChecksums bool
+	// ChecksumsCorrupted counts packets mangled by CorruptChecksums.
+	ChecksumsCorrupted uint64
 }
 
 // New creates a translator. Zero timeout fields take the RFC defaults;
@@ -309,7 +318,38 @@ func (t *Translator) TranslateV6ToV4(p *packet.IPv6) (*packet.IPv4, error) {
 	}
 	t.TranslatedOut++
 	t.BytesOut += uint64(len(p.Payload))
+	if t.CorruptChecksums {
+		corruptL4(out.Protocol, out.Payload)
+		t.ChecksumsCorrupted++
+	}
 	return out, nil
+}
+
+// corruptL4 flips the L4 checksum of a freshly marshaled v4 payload in
+// place. The field offsets are fixed per protocol; a zero result is
+// avoided for UDP, where RFC 768 would read it as "no checksum".
+func corruptL4(proto uint8, b []byte) {
+	var off int
+	switch proto {
+	case packet.ProtoUDP:
+		off = 6
+	case packet.ProtoTCP:
+		off = 16
+	case packet.ProtoICMP:
+		off = 2
+	default:
+		return
+	}
+	if len(b) < off+2 {
+		return
+	}
+	ck := uint16(b[off])<<8 | uint16(b[off+1])
+	ck ^= 0xffff
+	if ck == 0 {
+		ck = 1
+	}
+	b[off] = byte(ck >> 8)
+	b[off+1] = byte(ck)
 }
 
 // TranslateV4ToV6 translates one inbound IPv4 packet back to IPv6,

@@ -542,6 +542,12 @@ func (n *Network) RunFor(d time.Duration) int {
 
 // RunUntil processes events until pred returns true or the fabric goes
 // quiet within the supplied window. It reports whether pred became true.
+// The window slides: any event inside it extends the wait, which is what
+// keeps a paced long-lived transfer alive as long as data keeps flowing.
+// For a hard timeout (res_send-style "answer within d or fail") use
+// WaitUntil instead — under a periodic event source (RA beacons, lease
+// timers) the sliding window never closes and a caller waiting on an
+// answer that will never come would burn the full event budget.
 func (n *Network) RunUntil(pred func() bool, window time.Duration) bool {
 	for i := 0; i < 1<<22; i++ {
 		if pred() {
@@ -552,5 +558,28 @@ func (n *Network) RunUntil(pred func() bool, window time.Duration) bool {
 			return pred()
 		}
 	}
+	return pred()
+}
+
+// WaitUntil processes events until pred returns true or virtual time
+// now+timeout is reached. On timeout the clock lands exactly on the
+// deadline, so a failed wait costs precisely its timeout in virtual
+// time no matter how busy the fabric is — unrelated periodic events
+// (beacons, expiry timers) cannot extend it the way they extend
+// RunUntil's quiet window.
+func (n *Network) WaitUntil(pred func() bool, timeout time.Duration) bool {
+	deadline := n.Clock.Now().Add(timeout)
+	for i := 0; i < 1<<22; i++ {
+		if pred() {
+			return true
+		}
+		if !n.step(deadline, true) {
+			break
+		}
+	}
+	if pred() {
+		return true
+	}
+	n.Clock.advance(deadline)
 	return pred()
 }

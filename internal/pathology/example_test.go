@@ -1,0 +1,52 @@
+package pathology_test
+
+import (
+	"fmt"
+
+	"repro/internal/pathology"
+	"repro/internal/testbed"
+)
+
+// ExampleRegister registers a new failure mode. Pathologies compose:
+// this one arms two existing knobs at once — a checksum-corrupting
+// NAT64 behind a PTB black hole — and the registry treats it like any
+// built-in: it gains a fingerprint, appears in sweeps, and must stay
+// distinguishable from every other registered pathology (the uniqueness
+// test covers registrations made by examples too).
+func ExampleRegister() {
+	err := pathology.Register(pathology.Pathology{
+		Name:      "example-combined-outage",
+		Source:    "composed from the Hsu et al. checksum and PTB-black-hole findings",
+		Mechanism: "NAT64 flips L4 checksums while the gateway suppresses Packet Too Big",
+		Install: func(tb *testbed.Testbed) error {
+			tb.Gateway.NAT64.CorruptChecksums = true
+			tb.Gateway.SuppressPTB(true)
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Println("register:", err)
+		return
+	}
+	f, err := pathology.Compute("example-combined-outage")
+	if err != nil {
+		fmt.Println("compute:", err)
+		return
+	}
+	fmt.Println("fingerprint:", f.String())
+	// Output: fingerprint: 4/8/6/6/2/4
+}
+
+// ExampleDecoder goes the other way: an operator measures the mirror
+// score of the canonical profiles on a sick network and asks the
+// catalog which failure mode produces that vector.
+func ExampleDecoder() {
+	d, err := pathology.NewDecoder()
+	if err != nil {
+		fmt.Println("decoder:", err)
+		return
+	}
+	name, ok := d.Decode([6]int{6, 9, 8, 8, 2, 6})
+	fmt.Println(name, ok)
+	// Output: nat64-checksum-corruption true
+}

@@ -1,0 +1,129 @@
+package pathology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hoststack"
+	"repro/internal/httpsim"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+	"repro/internal/testbed"
+)
+
+// FingerprintProfiles returns the canonical client set a fingerprint is
+// measured over, in fixed order. The six profiles span every resolver
+// and translation posture the testbed distinguishes: RFC 8925+CLAT,
+// RDNSS-preferring dual stack, IPv4-DNS-preferring dual stack,
+// IPv4-transport-DNS dual stack, IPv4-only, and IPv6-only.
+func FingerprintProfiles() []hoststack.Behavior {
+	return []hoststack.Behavior{
+		profiles.MacOS(),
+		profiles.Windows10(),
+		profiles.Windows11(),
+		profiles.WindowsXP(),
+		profiles.NintendoSwitch(),
+		profiles.IPv6OnlyLinux(),
+	}
+}
+
+// NumFingerprintProfiles is len(FingerprintProfiles()), the width of a
+// fingerprint vector.
+const NumFingerprintProfiles = 6
+
+// Fingerprint is a pathology's signature on the mirror: the fixed
+// 10-point score each canonical profile earns in a freshly built world
+// with the pathology installed, plus the per-subtest outcome codes
+// (portal.OutcomeCode) that explain *how* each score came about.
+type Fingerprint struct {
+	// Points holds portal.ScoreFixed points per FingerprintProfiles
+	// entry — the vector the Decoder keys on.
+	Points [NumFingerprintProfiles]int
+	// Codes holds the five-character portal outcome signature per
+	// profile, the diagnostic detail behind the points.
+	Codes [NumFingerprintProfiles]string
+}
+
+// String renders the score vector, e.g. "10/9/9/9/2/8".
+func (f Fingerprint) String() string {
+	parts := make([]string, len(f.Points))
+	for i, p := range f.Points {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Compute measures the named pathology's fingerprint: one default-world
+// testbed per canonical profile, pathology installed before the client
+// joins, then a full mirror run scored with the fixed (family-
+// validating) logic. Everything runs on the virtual clock, so the
+// result is deterministic.
+func Compute(name string) (Fingerprint, error) {
+	var f Fingerprint
+	for i, prof := range FingerprintProfiles() {
+		tb := testbed.New(testbed.DefaultOptions())
+		if err := Apply(tb, name); err != nil {
+			tb.Close()
+			return f, err
+		}
+		c := tb.AddClient("probe", prof)
+		res := portal.Run(func(url string) (*httpsim.Response, error) {
+			r, err := httpsim.Browse(c, url)
+			if err != nil {
+				return nil, err
+			}
+			return r.Response, nil
+		}, tb.Mirror)
+		f.Points[i] = portal.ScoreFixed(res).Points
+		f.Codes[i] = res.OutcomeCodes()
+		tb.Close()
+	}
+	return f, nil
+}
+
+// ComputeAll measures every registered pathology, keyed by name.
+func ComputeAll() (map[string]Fingerprint, error) {
+	out := make(map[string]Fingerprint, len(registry))
+	for _, name := range Names() {
+		f, err := Compute(name)
+		if err != nil {
+			return nil, fmt.Errorf("pathology %q: %w", name, err)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// Decoder maps an observed score vector back to the pathology that
+// produces it — the operator-facing payoff of fingerprint uniqueness:
+// run the five subtests against the canonical profiles, look the vector
+// up, and the catalog names the failure mode.
+type Decoder struct {
+	byVector map[[NumFingerprintProfiles]int]string
+}
+
+// NewDecoder measures every registered pathology and builds the lookup
+// table. It fails if two pathologies share a score vector, so holding a
+// Decoder is itself proof of fingerprint uniqueness.
+func NewDecoder() (*Decoder, error) {
+	all, err := ComputeAll()
+	if err != nil {
+		return nil, err
+	}
+	d := &Decoder{byVector: make(map[[NumFingerprintProfiles]int]string, len(all))}
+	for _, name := range Names() {
+		f := all[name]
+		if prev, dup := d.byVector[f.Points]; dup {
+			return nil, fmt.Errorf("pathology: %q and %q share fingerprint %v", prev, name, f)
+		}
+		d.byVector[f.Points] = name
+	}
+	return d, nil
+}
+
+// Decode returns the pathology whose fingerprint matches the observed
+// score vector.
+func (d *Decoder) Decode(points [NumFingerprintProfiles]int) (string, bool) {
+	name, ok := d.byVector[points]
+	return name, ok
+}

@@ -1,0 +1,248 @@
+// Package pathology is a pluggable registry of DNS/NAT64/delegation
+// failure modes drawn from the IPv6-transition measurement literature.
+// It is the protocol-semantics sibling of netsim.Impairment: where an
+// impairment corrupts frames, a pathology corrupts *meaning* — a DNS64
+// synthesizing into a prefix no translator serves, a NAT64 emitting
+// broken checksums, a delegation whose nameserver cannot be reached, a
+// middlebox eating one query type on one transport.
+//
+// Each Pathology is a named, documented, deterministic mutation of a
+// built testbed. Install functions only flip switches on components the
+// world already has, so a pathological world stays a pure function of
+// (topology, pathology name) and the serial ≡ sharded equality contract
+// of the scenario engine keeps holding with a pathology active.
+//
+// Every registered pathology leaves a distinct signature on the mirror's
+// 10-point readiness score across the canonical client profiles — its
+// Fingerprint. fingerprint.go computes fingerprints and decodes an
+// observed score vector back to the pathology that caused it; the
+// catalog with sources and reproduction commands is PATHOLOGIES.md.
+package pathology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/dns"
+	"repro/internal/dnspoison"
+	"repro/internal/dnswire"
+	"repro/internal/testbed"
+)
+
+// None is the name of the registered baseline pathology (a no-op
+// install); sweeps include it so every matrix carries its own control
+// row.
+const None = "none"
+
+// Pathology is one named failure mode. The three documentation fields
+// are load-bearing: tools/doclint refuses registrations that leave
+// Source or Mechanism empty, and PATHOLOGIES.md is generated from the
+// same strings, so the catalog cannot drift from the code.
+type Pathology struct {
+	// Name is the registry key and the -pathology=<name> CLI argument.
+	Name string
+	// Source cites the measurement literature documenting this failure
+	// mode in the wild.
+	Source string
+	// Mechanism describes what the install mutates and why clients
+	// break the way they do.
+	Mechanism string
+	// Install mutates a built testbed in place. It must be
+	// deterministic and must not depend on wall-clock time or
+	// randomness — a pathological world replays bit-identically.
+	Install func(tb *testbed.Testbed) error
+}
+
+var (
+	registry = map[string]Pathology{}
+	ordered  []string
+)
+
+// Register adds p to the registry. Registration fails on duplicate or
+// empty names and on missing documentation fields — every pathology
+// must say what it reproduces and where it was measured.
+func Register(p Pathology) error {
+	if p.Name == "" {
+		return fmt.Errorf("pathology: empty name")
+	}
+	if p.Source == "" || p.Mechanism == "" {
+		return fmt.Errorf("pathology %q: Source and Mechanism are required", p.Name)
+	}
+	if p.Install == nil {
+		return fmt.Errorf("pathology %q: nil Install", p.Name)
+	}
+	if _, dup := registry[p.Name]; dup {
+		return fmt.Errorf("pathology %q: already registered", p.Name)
+	}
+	registry[p.Name] = p
+	ordered = append(ordered, p.Name)
+	return nil
+}
+
+// MustRegister is Register for init-time built-ins; it panics on error.
+func MustRegister(p Pathology) {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks up a pathology by name.
+func Get(name string) (Pathology, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names returns every registered name with "none" first and the rest
+// sorted — the canonical row order of every matrix and test table.
+func Names() []string {
+	rest := make([]string, 0, len(ordered))
+	for _, n := range ordered {
+		if n != None {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append([]string{None}, rest...)
+}
+
+// All returns the registered pathologies in Names order.
+func All() []Pathology {
+	names := Names()
+	out := make([]Pathology, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Apply installs the named pathology into a built testbed.
+func Apply(tb *testbed.Testbed, name string) error {
+	p, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("pathology: unknown %q (have %v)", name, Names())
+	}
+	return p.Install(tb)
+}
+
+// Factory wraps a world factory so every world it builds comes up with
+// the named pathology installed. The result is assignable to
+// scenario.WorldFactory, which is how a pathology rides through
+// RunSharded without this package importing the scenario engine.
+func Factory(base func() (*testbed.Testbed, error), name string) func() (*testbed.Testbed, error) {
+	return func() (*testbed.Testbed, error) {
+		tb, err := base()
+		if err != nil {
+			return nil, err
+		}
+		if err := Apply(tb, name); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		return tb, nil
+	}
+}
+
+// MismatchedPrefix is the /96 the dns64-prefix-mismatch pathology makes
+// the DNS64 synthesize into. No translator serves it, so synthesized
+// AAAAs route natively to the WAN and black-hole.
+var MismatchedPrefix = netip.MustParsePrefix("2001:db8:64::/96")
+
+func init() {
+	MustRegister(Pathology{
+		Name:      None,
+		Source:    "baseline (no pathology) — control row for every sweep",
+		Mechanism: "no mutation; the testbed behaves exactly as built",
+		Install:   func(*testbed.Testbed) error { return nil },
+	})
+
+	MustRegister(Pathology{
+		Name: "dns64-prefix-mismatch",
+		Source: "Hsu et al., \"A First Look at NAT64 Deployment in the Wild\" " +
+			"(broken DNS64/NAT64 pairs: resolvers synthesizing into prefixes no local translator serves)",
+		Mechanism: "the healthy DNS64 synthesizes AAAAs into 2001:db8:64::/96 while the gateway " +
+			"translates only 64:ff9b::/96; synthesized addresses are routed natively to the WAN " +
+			"and black-hole, so DNS64-dependent clients time out per AAAA while CLAT clients " +
+			"survive via their own well-known-prefix translation of the A record",
+		Install: func(tb *testbed.Testbed) error {
+			tb.Healthy64.Prefix = MismatchedPrefix
+			return nil
+		},
+	})
+
+	MustRegister(Pathology{
+		Name: "nat64-checksum-corruption",
+		Source: "Hsu et al., \"A First Look at NAT64 Deployment in the Wild\" " +
+			"(translators emitting invalid L4 checksums after address rewriting)",
+		Mechanism: "the gateway NAT64 flips the L4 checksum of every translated v6→v4 packet; " +
+			"receivers verify and silently discard, so every translated path (synthesized AAAA " +
+			"and CLAT alike) stalls while native IPv6 stays healthy",
+		Install: func(tb *testbed.Testbed) error {
+			tb.Gateway.NAT64.CorruptChecksums = true
+			return nil
+		},
+	})
+
+	MustRegister(Pathology{
+		Name: "nat64-mtu-blackhole",
+		Source: "Hsu et al., \"A First Look at NAT64 Deployment in the Wild\"; RFC 4821 §1 " +
+			"(ICMP black holes breaking path MTU discovery)",
+		Mechanism: "the gateway drops oversized packets without emitting ICMPv6 Packet Too Big " +
+			"in either direction; PMTUD never converges, so small transfers work and anything " +
+			"larger than the constrained 5G MTU stalls — the mirror's large-packet probe is the " +
+			"only subtest that dies",
+		Install: func(tb *testbed.Testbed) error {
+			tb.Gateway.SuppressPTB(true)
+			return nil
+		},
+	})
+
+	MustRegister(Pathology{
+		Name: "delegation-no-aaaa",
+		Source: "Streibelt et al., \"How Ready Is DNS for an IPv6-Only World?\" " +
+			"(zones delegated to nameservers without AAAA or glue are unresolvable from v6-only resolvers)",
+		Mechanism: "the mirror zone is delegated to an in-bailiwick nameserver with neither an " +
+			"AAAA record nor glue; the healthy resolver's authoritative transport is IPv6-only, " +
+			"so every query under the zone — A and AAAA alike — answers SERVFAIL, while the " +
+			"wildcard poisoner keeps fabricating A answers without ever consulting upstream",
+		Install: func(tb *testbed.Testbed) error {
+			d := dns.NewDelegated(tb.Healthy64.Inner)
+			d.V6OnlyTransport = true
+			d.Delegate(tb.Mirror.Name, dns.NSProfile{
+				Name:    "ns6." + tb.Mirror.Name,
+				HasAAAA: false,
+				HasGlue: false,
+			})
+			tb.Healthy64.Inner = d
+			return nil
+		},
+	})
+
+	MustRegister(Pathology{
+		Name: "dns-v4-interference",
+		Source: "Martiny et al. (transport-asymmetric resolver interference: middleboxes " +
+			"discarding one record type on the IPv4 path)",
+		Mechanism: "an on-path middlebox silently eats AAAA queries on the IPv4-transport " +
+			"(poisoned) resolver path; clients preferring that resolver get only the poisoned A " +
+			"answer after an AAAA timeout and are herded to the intervention page, while " +
+			"RDNSS-preferring clients never notice",
+		Install: func(tb *testbed.Testbed) error {
+			tb.PoisonLog.Inner = dnspoison.NewInterference(tb.PoisonLog.Inner, dnswire.TypeAAAA)
+			return nil
+		},
+	})
+
+	MustRegister(Pathology{
+		Name: "dns-v6-interference",
+		Source: "Martiny et al. (transport-asymmetric resolver interference: the IPv6 path " +
+			"degraded while IPv4 resolution keeps working)",
+		Mechanism: "the mirror-image middlebox eats AAAA queries on the RDNSS (IPv6-transport) " +
+			"resolver path; clients with an IPv4-transport fallback resolver recover after the " +
+			"timeout, but RDNSS-only clients are left with A-only answers (CLAT keeps them " +
+			"partially alive) or nothing at all",
+		Install: func(tb *testbed.Testbed) error {
+			tb.HealthyLog.Inner = dnspoison.NewInterference(tb.HealthyLog.Inner, dnswire.TypeAAAA)
+			return nil
+		},
+	})
+}

@@ -180,6 +180,46 @@ func fieldValue(body, key string) string {
 	return ""
 }
 
+// OutcomeCode compresses one subtest result into a single diagnostic
+// byte, extending the 10-point score with the *way* a subtest passed or
+// failed — the detail that lets the pathology catalog tell failure
+// modes apart when their point totals tie:
+//
+//	'N'  fetched, arrived through NAT64 (translated IPv4)
+//	'6'  fetched natively over IPv6
+//	'4'  fetched natively over IPv4
+//	'x'  an HTTP response came back but not from the mirror
+//	     (the poisoned-A redirect signature)
+//	'm'  mirror reached but the large probe was truncated
+//	     (the PTB-black-hole signature)
+//	'!'  unreachable: timeout, connection failure or no addresses
+func OutcomeCode(s SubResult) byte {
+	switch {
+	case s.Fetched && s.ViaNAT64:
+		return 'N'
+	case s.Fetched && s.Family == "IPv6":
+		return '6'
+	case s.Fetched:
+		return '4'
+	case s.Err == "":
+		return 'x'
+	case strings.Contains(s.Err, "short body"):
+		return 'm'
+	default:
+		return '!'
+	}
+}
+
+// OutcomeCodes renders the per-subtest OutcomeCode bytes in SubtestNames
+// order — a five-character connectivity signature like "N66m4".
+func (r *Results) OutcomeCodes() string {
+	b := make([]byte, len(r.Subs))
+	for i, s := range r.Subs {
+		b[i] = OutcomeCode(s)
+	}
+	return string(b)
+}
+
 // Score is a 0..10 readiness verdict with explanation.
 type Score struct {
 	Points int

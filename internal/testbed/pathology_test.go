@@ -1,0 +1,52 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/httpsim"
+	"repro/internal/portal"
+	"repro/internal/profiles"
+)
+
+// TestSuppressPTBBlackholesMTUProbe pins the MTU-black-hole mechanism:
+// with Packet Too Big generation suppressed at the gateway, the mirror's
+// large-body probe stalls (PMTUD never converges) while the small-body
+// endpoints keep working, and the gateway counts every swallowed error.
+func TestSuppressPTBBlackholesMTUProbe(t *testing.T) {
+	tb := New(DefaultOptions())
+	tb.Gateway.SuppressPTB(true)
+	c := tb.AddClient("linux", profiles.Linux())
+
+	if r, err := httpsim.Browse(c, "http://ipv6.test-ipv6.com/ip/"); err != nil || r.Response.Status != 200 {
+		t.Fatalf("small transfer must survive the black hole: r=%v err=%v", r, err)
+	}
+
+	r, err := httpsim.Browse(c, "http://mtu6.test-ipv6.com/mtu/")
+	if err == nil && len(r.Response.Body) >= portal.MTUProbeSize {
+		t.Fatalf("large probe completed (%d bytes) despite suppressed PTB", len(r.Response.Body))
+	}
+	if tb.Gateway.PTBSent != 0 {
+		t.Errorf("PTBSent = %d, want 0 while suppressed", tb.Gateway.PTBSent)
+	}
+	if tb.Gateway.PTBSuppressed == 0 {
+		t.Error("PTBSuppressed = 0: the black hole never swallowed anything")
+	}
+
+	// The portal subtest records the black hole's distinctive signature.
+	res := portal.Run(func(url string) (*httpsim.Response, error) {
+		fr, err := httpsim.Browse(c, url)
+		if err != nil {
+			return nil, err
+		}
+		return fr.Response, nil
+	}, tb.Mirror)
+	for _, sub := range res.Subs {
+		if sub.Name == "v6-mtu" && sub.Fetched {
+			t.Errorf("v6-mtu = %+v, want failure under suppressed PTB", sub)
+		}
+		if sub.Name == "v6-mtu" && sub.Err != "" && !strings.Contains(sub.Err, "short body") && !strings.Contains(sub.Err, "timeout") {
+			t.Logf("v6-mtu failed with %q", sub.Err)
+		}
+	}
+}

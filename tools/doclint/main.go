@@ -1,7 +1,10 @@
 // Command doclint enforces the repo's documentation bar: every exported
 // top-level identifier (type, function, method, const and var group)
 // must carry a doc comment, and every package must have a package
-// comment. It walks the package directories given as arguments (or
+// comment. It additionally holds pathology registrations to the catalog
+// bar: every Pathology composite literal must carry non-empty Name,
+// Source and Mechanism strings. It walks the package directories given
+// as arguments (or
 // ./internal/... and ./cmd/... plus the module root by default), parses
 // the non-test sources with go/parser, and prints one line per missing
 // comment. Exit status 1 means the bar is not met — CI runs this next
@@ -17,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -77,6 +81,7 @@ func lintDir(dir string) int {
 			for _, decl := range file.Decls {
 				bad += lintDecl(fset, decl)
 			}
+			bad += lintPathologyLits(fset, file)
 		}
 	}
 	return bad
@@ -133,6 +138,77 @@ func lintDecl(fset *token.FileSet, decl ast.Decl) int {
 		}
 	}
 	return bad
+}
+
+// lintPathologyLits enforces the pathology documentation bar on top of
+// the runtime check in pathology.Register: every Pathology composite
+// literal must spell out non-empty Name, Source and Mechanism strings,
+// so an undocumented failure mode fails the docs lane before any test
+// ever constructs it. Fields whose values are not compile-time string
+// constants are left to the runtime check.
+func lintPathologyLits(fset *token.FileSet, file *ast.File) int {
+	bad := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || !isPathologyType(cl.Type) {
+			return true
+		}
+		fields := map[string]ast.Expr{}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					fields[id.Name] = kv.Value
+				}
+			}
+		}
+		for _, req := range []string{"Name", "Source", "Mechanism"} {
+			v, ok := fields[req]
+			if !ok {
+				fmt.Printf("%s: Pathology literal lacks the %s field\n", fset.Position(cl.Pos()), req)
+				bad++
+				continue
+			}
+			if s, lit := stringConst(v); lit && strings.TrimSpace(s) == "" {
+				fmt.Printf("%s: Pathology %s is empty\n", fset.Position(v.Pos()), req)
+				bad++
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// isPathologyType matches the Pathology struct type by name, qualified
+// (pathology.Pathology) or not.
+func isPathologyType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "Pathology"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Pathology"
+	}
+	return false
+}
+
+// stringConst folds a tree of +-concatenated string literals into its
+// value; ok is false when any leaf is not a string literal.
+func stringConst(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind == token.STRING {
+			s, err := strconv.Unquote(x.Value)
+			return s, err == nil
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			l, lok := stringConst(x.X)
+			r, rok := stringConst(x.Y)
+			return l + r, lok && rok
+		}
+	case *ast.ParenExpr:
+		return stringConst(x.X)
+	}
+	return "", false
 }
 
 // exportedRecv reports whether a function's receiver type (if any) is
