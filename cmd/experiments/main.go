@@ -54,6 +54,7 @@ var exps = []experiment{
 	{"chaos", "loss × gateway-reboot degradation matrix (DESIGN.md §3b)", chaos},
 	{"traffic", "heavy streaming flows through every translator (DESIGN.md §3d)", traffic},
 	{"pathology", "pathology × profile degradation matrix + fingerprints (DESIGN.md §3f)", pathologyExp},
+	{"stateful", "stateful pathology timelines + budgeted port-pool exhaustion (DESIGN.md §3g)", statefulExp},
 }
 
 // pathologyTarget holds the <name> from -pathology=<name>; empty means
@@ -596,6 +597,9 @@ func pathologyDetail(name string) {
 	fmt.Printf("pathology: %s\n", p.Name)
 	fmt.Printf("source:    %s\n", p.Source)
 	fmt.Printf("mechanism: %s\n", p.Mechanism)
+	if p.Stateful() {
+		fmt.Printf("schedule:  %s\n", p.ScheduleDoc)
+	}
 	f, err := pathology.Compute(name)
 	if err != nil {
 		fmt.Printf("measured: fingerprint error %v\n", err)
@@ -606,13 +610,82 @@ func pathologyDetail(name string) {
 		fmt.Printf("measured: %-18s score=%-2d codes=%s\n", prof.Name, f.Points[i], f.Codes[i])
 	}
 	fmt.Printf("measured: fingerprint vector %s\n", f.String())
+	if p.Stateful() {
+		tl, err := pathology.ComputeTimeline(name)
+		if err != nil {
+			fmt.Printf("measured: timeline error %v\n", err)
+		} else {
+			fmt.Printf("measured: timeline %s\n", tl)
+		}
+	}
 	d, err := pathology.NewDecoder()
 	if err != nil {
 		fmt.Printf("measured: decoder error %v\n", err)
 		return
 	}
-	decoded, ok := d.Decode(f.Points)
-	fmt.Printf("measured: decoder maps the vector back to %q (ok=%v)\n", decoded, ok)
+	decoded, err := d.Decode(f.Points)
+	if err != nil {
+		fmt.Printf("measured: decoder error %v\n", err)
+		return
+	}
+	fmt.Printf("measured: decoder maps the vector back to %q\n", decoded)
+}
+
+func statefulExp() {
+	fmt.Println("engine: arm each stateful pathology on the canonical probe windows (onset 60s,")
+	fmt.Println("        active 120s, registered flap pattern kept) and fingerprint the same")
+	fmt.Println("        client before onset, mid-failure and after recovery; then run the")
+	fmt.Println("        budgeted port-pool exhaustion under the heavy-traffic workload serial")
+	fmt.Println("        vs sharded to show the pro-rata split keeps the merge exact")
+	fmt.Printf("measured: %-22s %-14s %-14s %s\n", "pathology", "pre-onset", "active", "recovered")
+	for _, name := range pathology.Names() {
+		p, _ := pathology.Get(name)
+		if !p.Stateful() {
+			continue
+		}
+		tl, err := pathology.ComputeTimeline(name)
+		if err != nil {
+			fmt.Printf("measured: %-22s timeline error %v\n", name, err)
+			continue
+		}
+		fmt.Printf("measured: %-22s %-14s %-14s %s\n", name, tl.PreOnset, tl.Active, tl.Recovered)
+	}
+
+	const n = 24
+	devices := scenario.Population(1, n, scenario.DefaultMix())
+	base := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), n)}.Build
+	fac := pathology.FactorySized(base, "nat64-port-exhaustion")
+	run := scenario.RunOptions{Traffic: &scenario.TrafficOptions{
+		FlowsPerDevice: 4,
+		FlowBytes:      32 << 10,
+		Pace:           2 * time.Millisecond,
+		ChurnFlows:     1,
+	}}
+	serial, err := scenario.RunShardedSized(fac, devices, scenario.ShardOptions{Shards: 1, Seed: 1, Run: run})
+	if err != nil {
+		fmt.Printf("measured: serial run error %v\n", err)
+		return
+	}
+	sharded, err := scenario.RunShardedSized(fac, devices, scenario.ShardOptions{Shards: 4, Seed: 1, Run: run})
+	if err != nil {
+		fmt.Printf("measured: sharded run error %v\n", err)
+		return
+	}
+	line := func(tag string, r *scenario.Report) {
+		fmt.Printf("measured: %-7s internet=%-2d informed=%-2d nat64-sessions=%-3d ports-exhausted=%-4d flows completed=%d aborted=%d\n",
+			tag, r.InternetOK, r.Informed, r.NAT64Sessions,
+			r.Traffic.Gateway.NAT64PortsExhausted, r.Traffic.Flows.Completed, r.Traffic.Flows.Aborted)
+	}
+	line("serial", serial)
+	line("K=4", sharded)
+	match := serial.InternetOK == sharded.InternetOK && serial.Informed == sharded.Informed &&
+		serial.NAT64Sessions == sharded.NAT64Sessions &&
+		serial.Traffic.Gateway.NAT64PortsExhausted == sharded.Traffic.Gateway.NAT64PortsExhausted &&
+		serial.Traffic.Flows == sharded.Traffic.Flows
+	fmt.Printf("measured: serial == sharded: %v\n", match)
+	fmt.Println("shape: the quota bites hardest on parallel probe bursts; refused flows get the")
+	fmt.Println("       RFC 6146 ICMPv6 unreachable and fail fast, and every counter above folds")
+	fmt.Println("       shard-exactly because each world's port pool is quota × its own devices")
 }
 
 func firstLine(b []byte) string {

@@ -59,8 +59,22 @@ type Resolver struct {
 	// SynthTTL caps the TTL of synthesized records.
 	SynthTTL uint32
 
+	// Suppress, when non-nil and returning true, wedges the resolver's
+	// AAAA path for this query: the query is silently dropped
+	// (dns.ErrDrop, no response on the wire), modeling a DNS64 daemon
+	// whose IPv6 handling intermittently hangs while A queries keep
+	// answering. The dns64-flapping pathology wires a schedule gate
+	// here; installs that do so must also shorten downstream cache TTLs
+	// so answers resolved in an up-window cannot mask a later
+	// down-window. The client-side timeout a dropped query burns is what
+	// lets one probe suite sample several flap phases.
+	Suppress func() bool
+
 	// Synthesized counts AAAA answers fabricated from A records.
 	Synthesized uint64
+	// FlapSuppressed counts AAAA queries dropped by a Suppress
+	// down-window.
+	FlapSuppressed uint64
 }
 
 // New builds a DNS64 resolver over inner using the well-known prefix.
@@ -87,6 +101,10 @@ func (r *Resolver) Resolve(q dnswire.Question) (*dnswire.Message, error) {
 	}
 	if q.Type != dnswire.TypeAAAA {
 		return r.Inner.Resolve(q)
+	}
+	if r.Suppress != nil && r.Suppress() {
+		r.FlapSuppressed++
+		return nil, dns.ErrDrop
 	}
 	native, err := r.Inner.Resolve(q)
 	if err != nil {

@@ -1,0 +1,42 @@
+package dns64
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dns"
+	"repro/internal/dnswire"
+)
+
+// TestSuppressWedgesAAAAPath pins the dns64-flapping mechanism: while
+// Suppress reports a down-window, every AAAA query — names with native
+// AAAA included — is dropped with dns.ErrDrop before the inner resolver
+// is consulted (the daemon's IPv6 path is wedged, not merely
+// synthesis), A queries keep answering, and each drop is counted. When
+// the window lifts, AAAA service resumes untouched.
+func TestSuppressWedgesAAAAPath(t *testing.T) {
+	r := New(upstream())
+	down := true
+	r.Suppress = func() bool { return down }
+
+	for _, name := range []string{"v4only.example", "dual.example"} {
+		if _, err := r.Resolve(q(name, dnswire.TypeAAAA)); !errors.Is(err, dns.ErrDrop) {
+			t.Errorf("AAAA %s during down-window: err = %v, want dns.ErrDrop", name, err)
+		}
+	}
+	if r.FlapSuppressed != 2 {
+		t.Errorf("FlapSuppressed = %d, want 2", r.FlapSuppressed)
+	}
+	if resp, err := r.Resolve(q("v4only.example", dnswire.TypeA)); err != nil || len(resp.Answers) == 0 {
+		t.Errorf("A query during down-window: resp=%+v err=%v, want an answer", resp, err)
+	}
+
+	down = false
+	resp, err := r.Resolve(q("v4only.example", dnswire.TypeAAAA))
+	if err != nil || len(resp.Answers) != 1 || resp.Answers[0].Type != dnswire.TypeAAAA {
+		t.Errorf("AAAA after the window lifted: resp=%+v err=%v, want synthesis", resp, err)
+	}
+	if r.FlapSuppressed != 2 {
+		t.Errorf("FlapSuppressed = %d after recovery, want 2 (no new drops)", r.FlapSuppressed)
+	}
+}

@@ -12,6 +12,7 @@
 package gateway5g
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"time"
@@ -108,6 +109,21 @@ type Gateway struct {
 	blockNAT44  bool
 	suppressPTB bool
 
+	// raDown, when non-nil and returning true, suppresses every Router
+	// Advertisement (periodic beacon or RS answer) at transmit time. The
+	// gateway-ra-outage pathology wires a pathology.Gate's Down here; the
+	// beacon timer keeps rearming through an outage so advertisements
+	// resume on the first beacon after the gate reopens.
+	raDown func() bool
+	// raValidLT/raPreferredLT/raRouterLT override the advertised SLAAC
+	// prefix and default-router lifetimes when positive (defaults 2h /
+	// 1h / 30min). Outage pathologies shorten them so hosts actually
+	// feel an RA silence window: the default route and preferred
+	// address decay instead of coasting on hour-long state.
+	raValidLT     time.Duration
+	raPreferredLT time.Duration
+	raRouterLT    time.Duration
+
 	// Counters.
 	RAsSent       uint64
 	V6Forwarded   uint64
@@ -119,6 +135,28 @@ type Gateway struct {
 	// while SuppressPTB was active (each one an oversized packet dropped
 	// with no signal to the sender).
 	PTBSuppressed uint64
+	// RAsSuppressed counts Router Advertisements swallowed by the RA
+	// outage gate (each one a beacon or RS answer the LAN never saw).
+	RAsSuppressed uint64
+	// ExhaustionSignaled counts ICMPv6 Destination Unreachable errors
+	// sent to LAN clients whose flows the NAT64 refused for lack of
+	// ports (RFC 6146 §3.5.1.1).
+	ExhaustionSignaled uint64
+}
+
+// SetRAGate installs (or clears, with nil) the RA suppression gate:
+// while down() reports true every outgoing Router Advertisement is
+// swallowed and counted in RAsSuppressed. Pure polling — the beacon
+// timer is untouched, so recovery needs no rearm bookkeeping.
+func (g *Gateway) SetRAGate(down func() bool) { g.raDown = down }
+
+// SetRALifetimes overrides the advertised prefix valid/preferred and
+// router lifetimes; zero fields keep the defaults (2h / 1h / 30min).
+// Shortening them makes RA outages bite within a trial: hosts deprecate
+// their SLAAC address and drop the default route instead of riding out
+// the silence on stale hour-scale state.
+func (g *Gateway) SetRALifetimes(valid, preferred, router time.Duration) {
+	g.raValidLT, g.raPreferredLT, g.raRouterLT = valid, preferred, router
 }
 
 // BlockNAT44 applies the paper §VI "further restrict IPv4 internet" ACL:
@@ -229,21 +267,26 @@ type TrafficStats struct {
 	NAT64Sessions   int
 	NAT44Sessions   int
 	NAT44LogEntries int
+	// NAT64PortsExhausted counts outbound flows the NAT64 refused with
+	// ErrPortsExhausted (port pool or per-source quota); each one was
+	// answered with an ICMPv6 Destination Unreachable on the LAN side.
+	NAT64PortsExhausted uint64
 }
 
 // TrafficStats returns the gateway's current translation counters.
 func (g *Gateway) TrafficStats() TrafficStats {
 	return TrafficStats{
-		NAT64PktsOut:    g.NAT64.TranslatedOut,
-		NAT64PktsIn:     g.NAT64.TranslatedIn,
-		NAT64BytesOut:   g.NAT64.BytesOut,
-		NAT64BytesIn:    g.NAT64.BytesIn,
-		NAT44Pkts:       g.NAT44.Translated,
-		NAT44BytesOut:   g.NAT44.BytesOut,
-		NAT44BytesIn:    g.NAT44.BytesIn,
-		NAT64Sessions:   g.NAT64.SessionCount(),
-		NAT44Sessions:   g.NAT44.SessionCount(),
-		NAT44LogEntries: len(g.NAT44.Log),
+		NAT64PktsOut:        g.NAT64.TranslatedOut,
+		NAT64PktsIn:         g.NAT64.TranslatedIn,
+		NAT64BytesOut:       g.NAT64.BytesOut,
+		NAT64BytesIn:        g.NAT64.BytesIn,
+		NAT44Pkts:           g.NAT44.Translated,
+		NAT44BytesOut:       g.NAT44.BytesOut,
+		NAT44BytesIn:        g.NAT44.BytesIn,
+		NAT64Sessions:       g.NAT64.SessionCount(),
+		NAT44Sessions:       g.NAT44.SessionCount(),
+		NAT44LogEntries:     len(g.NAT44.Log),
+		NAT64PortsExhausted: g.NAT64.PortsExhausted,
 	}
 }
 
@@ -292,10 +335,20 @@ func (g *Gateway) armRATimer() {
 
 // buildRA assembles the gateway's (flawed) Router Advertisement.
 func (g *Gateway) buildRA() *ndp.RouterAdvert {
+	validLT, preferredLT, routerLT := 2*time.Hour, time.Hour, 30*time.Minute
+	if g.raValidLT > 0 {
+		validLT = g.raValidLT
+	}
+	if g.raPreferredLT > 0 {
+		preferredLT = g.raPreferredLT
+	}
+	if g.raRouterLT > 0 {
+		routerLT = g.raRouterLT
+	}
 	prefixes := []ndp.PrefixInfo{{
 		Prefix: g.CurrentGUAPrefix(),
 		OnLink: true, Autonomous: true,
-		ValidLifetime: 2 * time.Hour, PreferredLifetime: time.Hour,
+		ValidLifetime: validLT, PreferredLifetime: preferredLT,
 	}}
 	if g.prevGUA.IsValid() && g.prevGUA != g.CurrentGUAPrefix() {
 		// Post-reboot renumbering: keep the old /64 on-link for its
@@ -303,12 +356,12 @@ func (g *Gateway) buildRA() *ndp.RouterAdvert {
 		prefixes = append(prefixes, ndp.PrefixInfo{
 			Prefix: g.prevGUA,
 			OnLink: true, Autonomous: true,
-			ValidLifetime: 2 * time.Hour, PreferredLifetime: 0,
+			ValidLifetime: validLT, PreferredLifetime: 0,
 		})
 	}
 	ra := &ndp.RouterAdvert{
 		CurHopLimit:    64,
-		RouterLifetime: 30 * time.Minute,
+		RouterLifetime: routerLT,
 		Preference:     ndp.PrefMedium,
 		SourceLinkAddr: g.lan.MAC(),
 		HasSourceLink:  true,
@@ -326,6 +379,10 @@ func (g *Gateway) buildRA() *ndp.RouterAdvert {
 
 // sendRA multicasts the Router Advertisement to all-nodes.
 func (g *Gateway) sendRA() {
+	if g.raDown != nil && g.raDown() {
+		g.RAsSuppressed++
+		return
+	}
 	ra := g.buildRA()
 	body := (&packet.ICMP{Type: packet.ICMPv6RouterAdvert, Body: ra.Marshal()}).MarshalV6(g.linkLocal, ndp.AllNodes)
 	p := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: g.linkLocal, Dst: ndp.AllNodes, Payload: body}
@@ -340,6 +397,10 @@ func (g *Gateway) sendRA() {
 // as known unicast across the fabric, so it stays out of every other
 // access domain.
 func (g *Gateway) sendRAUnicast(dst netsim.MAC, dstIP netip.Addr) {
+	if g.raDown != nil && g.raDown() {
+		g.RAsSuppressed++
+		return
+	}
 	ra := g.buildRA()
 	body := (&packet.ICMP{Type: packet.ICMPv6RouterAdvert, Body: ra.Marshal()}).MarshalV6(g.linkLocal, dstIP)
 	p := &packet.IPv6{NextHeader: packet.ProtoICMPv6, HopLimit: 255, Src: g.linkLocal, Dst: dstIP, Payload: body}
@@ -520,6 +581,9 @@ func (g *Gateway) handleLANv6(f netsim.Frame) {
 		}
 		out, err := g.NAT64.TranslateV6ToV4(p)
 		if err != nil {
+			if errors.Is(err, nat64.ErrPortsExhausted) {
+				g.sendExhaustionToLAN(f, p)
+			}
 			return
 		}
 		g.wan.Transmit(netsim.Frame{Dst: g.wanPeerMAC, EtherType: netsim.EtherTypeIPv4, Payload: out.Marshal()})
@@ -567,6 +631,16 @@ func (g *Gateway) ptbBody(p *packet.IPv6) []byte {
 // MTU black hole Hsu et al. measured on deployed NAT64 paths. Path MTU
 // discovery then never converges and large transfers stall forever.
 func (g *Gateway) SuppressPTB(on bool) { g.suppressPTB = on }
+
+// sendExhaustionToLAN answers a LAN flow the NAT64 refused for lack of
+// ports with the RFC 6146 §3.5.1.1 ICMPv6 Destination Unreachable
+// (address unreachable), so the client's stack can fail the connection
+// fast instead of timing out against silence.
+func (g *Gateway) sendExhaustionToLAN(f netsim.Frame, p *packet.IPv6) {
+	reply := nat64.ExhaustionUnreachable(g.linkLocal, p)
+	g.lan.Transmit(netsim.Frame{Dst: f.Src, EtherType: netsim.EtherTypeIPv6, Payload: reply.Marshal()})
+	g.ExhaustionSignaled++
+}
 
 // sendPTBToLAN answers an oversized LAN-originated packet.
 func (g *Gateway) sendPTBToLAN(f netsim.Frame, p *packet.IPv6) {

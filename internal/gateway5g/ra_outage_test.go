@@ -1,0 +1,69 @@
+package gateway5g
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hoststack"
+	"repro/internal/netsim"
+)
+
+// TestRAGateSuppressesBeaconsAndRS pins the gateway-ra-outage plumbing:
+// with the gate closed the gateway answers neither its beacon timer nor
+// router solicitations (counting each swallow), so a joining client
+// never SLAACs; the first beacon after the gate opens recovers it.
+func TestRAGateSuppressesBeaconsAndRS(t *testing.T) {
+	net := netsim.NewNetwork()
+	gw, c := lanClient(t, net, hoststack.Behavior{Name: "c", IPv6Enabled: true, SupportsRDNSS: true})
+	down := true
+	gw.SetRAGate(func() bool { return down })
+	gw.Start()
+	c.Start()
+	net.RunFor(12 * time.Second)
+
+	if got := c.IPv6GlobalAddrs(); len(got) != 0 {
+		t.Fatalf("client SLAACed %v through a closed RA gate", got)
+	}
+	if gw.RAsSuppressed == 0 {
+		t.Fatal("no RAs counted as suppressed despite beacons and RS answers due")
+	}
+	if gw.RAsSent != 0 {
+		t.Fatalf("RAsSent = %d with the gate closed, want 0", gw.RAsSent)
+	}
+
+	down = false
+	net.RunFor(10 * time.Second) // across the next beacon instant
+	if got := c.IPv6GlobalAddrs(); len(got) != 1 {
+		t.Fatalf("client did not recover on the first post-outage beacon: addrs=%v", got)
+	}
+	if gw.RAsSent == 0 {
+		t.Fatal("beacons did not resume after the gate opened")
+	}
+}
+
+// TestSetRALifetimes pins that the shortened lifetimes ride the RA onto
+// the wire: the client's SLAAC address carries the configured 40 s/20 s
+// deadlines instead of the 2 h/1 h defaults.
+func TestSetRALifetimes(t *testing.T) {
+	net := netsim.NewNetwork()
+	gw, c := lanClient(t, net, hoststack.Behavior{Name: "c", IPv6Enabled: true})
+	gw.SetRALifetimes(40*time.Second, 20*time.Second, 15*time.Second)
+	gw.Start()
+	c.Start()
+	net.RunFor(time.Second)
+
+	addrs := c.V6Addresses()
+	if len(addrs) != 1 {
+		t.Fatalf("client addrs = %v, want one SLAAC address", addrs)
+	}
+	a := addrs[0]
+	if a.ValidUntil.IsZero() || a.PreferredUntil.IsZero() {
+		t.Fatal("SLAAC address missing lifetime deadlines")
+	}
+	if gap := a.ValidUntil.Sub(a.PreferredUntil); gap != 20*time.Second {
+		t.Errorf("valid−preferred gap = %v, want 20s (40 s valid, 20 s preferred)", gap)
+	}
+	if remaining := a.ValidUntil.Sub(net.Clock.Now()); remaining > 40*time.Second {
+		t.Errorf("valid lifetime %v exceeds the configured 40 s", remaining)
+	}
+}

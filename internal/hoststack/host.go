@@ -92,6 +92,11 @@ type Host struct {
 	// pmtu caches learned path MTUs per destination (RFC 8201).
 	pmtu map[netip.Addr]int
 
+	// UnreachRcvd counts ICMPv6 Destination Unreachable errors that
+	// fast-failed an in-handshake TCP connection (the NAT64 exhaustion
+	// signal landing).
+	UnreachRcvd uint64
+
 	// gleanND, when set, learns neighbor entries from received unicast
 	// traffic (the way the 5G gateway always does). Fabric worlds set it
 	// on infrastructure servers whose multicast solicitations cannot
@@ -333,7 +338,13 @@ func (h *Host) ownsV6(addr netip.Addr) bool {
 }
 
 // candidateSources lists the host's addresses for RFC 6724 selection.
+// Lifetimes are enforced here, at use time: RFC 4862 §5.5.4 invalidates
+// an address when its valid lifetime lapses whether or not another RA
+// ever arrives, so a host cut off from advertisements (the
+// gateway-ra-outage pathology) loses its addresses on schedule instead
+// of keeping them for as long as the silence lasts.
 func (h *Host) candidateSources() []rfc6724.CandidateSource {
+	h.expireV6Addrs(h.Net.Clock.Now())
 	var out []rfc6724.CandidateSource
 	for _, a := range h.v6Addrs {
 		out = append(out, rfc6724.CandidateSource{Addr: a.Addr, Deprecated: a.Deprecated})

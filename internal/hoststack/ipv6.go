@@ -226,6 +226,8 @@ func (h *Host) handleICMPv6(p *packet.IPv6) {
 		}
 	case packet.ICMPv6PacketTooBig:
 		h.handlePacketTooBig(ic)
+	case packet.ICMPv6DestUnreachable:
+		h.handleDestUnreachable(ic)
 	}
 }
 
@@ -349,8 +351,9 @@ func (h *Host) processRA(src netip.Addr, ra *ndp.RouterAdvert) {
 // expireV6Addrs ages the SLAAC address list: addresses past their
 // preferred deadline become deprecated (losing RFC 6724 rule-3 ties),
 // addresses past their valid deadline are removed. Zero deadlines
-// (static configuration) never age. Run lazily from processRA, so the
-// list ages exactly when new router information arrives.
+// (static configuration) never age. Run lazily from processRA (new
+// router information ages the list) and from candidateSources (use
+// time), so lifetimes lapse on schedule even when advertisements stop.
 func (h *Host) expireV6Addrs(now time.Time) {
 	kept := h.v6Addrs[:0]
 	for _, a := range h.v6Addrs {

@@ -78,6 +78,28 @@ func (t *Translator) translateICMPv4Error(p *packet.IPv4, ic *packet.ICMP) (*pac
 	return out, nil
 }
 
+// ExhaustionUnreachable builds the ICMPv6 Destination Unreachable
+// (code 3, address unreachable) a NAT64 emits toward the client when it
+// cannot allocate a port for a new flow (RFC 6146 §3.5.1.1), embedding
+// as much of the refused packet as fits so the sender's stack can match
+// the error to its socket. src is the router address the error is
+// sourced from (the gateway's LAN link-local).
+func ExhaustionUnreachable(src netip.Addr, p *packet.IPv6) *packet.IPv6 {
+	orig := p.Marshal()
+	if len(orig) > 1200 {
+		orig = orig[:1200]
+	}
+	body := append([]byte{0, 0, 0, 0}, orig...)
+	out := &packet.IPv6{
+		NextHeader: packet.ProtoICMPv6, HopLimit: 255,
+		Src: src, Dst: p.Src,
+	}
+	out.Payload = (&packet.ICMP{
+		Type: packet.ICMPv6DestUnreachable, Code: packet.ICMPv6CodeAddrUnreachable, Body: body,
+	}).MarshalV6(out.Src, out.Dst)
+	return out
+}
+
 // parseEmbeddedIPv4 decodes the truncated original datagram carried in
 // an ICMP error (it may lack a full payload and a valid total length,
 // and its transport checksum cannot be verified).

@@ -107,6 +107,18 @@ type Translator struct {
 	CorruptChecksums bool
 	// ChecksumsCorrupted counts packets mangled by CorruptChecksums.
 	ChecksumsCorrupted uint64
+
+	// MaxSessionsPerSource caps the number of concurrently live
+	// sessions any single IPv6 source may hold (0 = unlimited). This is
+	// the nat64-port-exhaustion pathology's quota: exhaustion onset is
+	// load-dependent, a busy client starves only itself, and recovery
+	// rides session idle-timeout expiry — which keeps exhaustion
+	// position-independent across shard worlds, unlike a raw shared
+	// pool squeeze.
+	MaxSessionsPerSource int
+	// PortsExhausted counts outbound flows refused ErrPortsExhausted,
+	// whether by an empty pool or by the per-source session quota.
+	PortsExhausted uint64
 }
 
 // New creates a translator. Zero timeout fields take the RFC defaults;
@@ -210,14 +222,66 @@ func (t *Translator) session(proto uint8, src netip.Addr, srcPort uint16) (*Sess
 	if s, ok := t.outbound[key]; ok && !t.expired(s, t.now()) {
 		return s, nil
 	}
+	if t.MaxSessionsPerSource > 0 && t.liveFrom(src) >= t.MaxSessionsPerSource {
+		t.PortsExhausted++
+		return nil, ErrPortsExhausted
+	}
 	ext, err := t.allocPort(proto)
 	if err != nil {
+		if errors.Is(err, ErrPortsExhausted) {
+			t.PortsExhausted++
+		}
 		return nil, err
 	}
 	s := &Session{Proto: proto, SrcV6: src, SrcPort: srcPort, ExtPort: ext, LastSeen: t.now()}
 	t.outbound[key] = s
 	t.inbound[extKey{proto: proto, port: ext}] = s
 	return s, nil
+}
+
+// liveFrom counts the unexpired sessions held by one IPv6 source. The
+// table is walked on demand: expiry is lazy, so a cached per-source
+// counter would overcount sessions that timed out but were never
+// reclaimed.
+func (t *Translator) liveFrom(src netip.Addr) int {
+	n := 0
+	now := t.now()
+	for _, s := range t.outbound {
+		if s.SrcV6 == src && !t.expired(s, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetPortRange replaces the external port pool bounds — the
+// nat64-port-exhaustion pathology's Budget hook, called on a freshly
+// built (session-free) world to size the pool to the shard's device
+// count. The allocation cursor restarts at the new minimum.
+func (t *Translator) SetPortRange(min, max uint16) error {
+	if min == 0 || min > max {
+		return fmt.Errorf("nat64: port range %d..%d invalid", min, max)
+	}
+	t.cfg.PortMin, t.cfg.PortMax = min, max
+	t.nextPort = min
+	return nil
+}
+
+// SetSessionTimeouts overrides the session idle timeouts in place.
+// Non-positive arguments leave the corresponding timeout untouched.
+func (t *Translator) SetSessionTimeouts(udp, tcp, icmp, tcpTrans time.Duration) {
+	if udp > 0 {
+		t.cfg.UDPTimeout = udp
+	}
+	if tcp > 0 {
+		t.cfg.TCPTimeout = tcp
+	}
+	if icmp > 0 {
+		t.cfg.ICMPTimeout = icmp
+	}
+	if tcpTrans > 0 {
+		t.cfg.TCPTransTimeout = tcpTrans
+	}
 }
 
 func (t *Translator) allocPort(proto uint8) (uint16, error) {

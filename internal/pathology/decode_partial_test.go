@@ -1,0 +1,75 @@
+package pathology
+
+import (
+	"errors"
+	"math/bits"
+	"reflect"
+	"testing"
+)
+
+// TestDecodePartialAllSubsets checks DecodePartial against a brute-force
+// reference for every measured-profile subset of size >= 2 (57 masks)
+// and every registered pathology: the ambiguity set must be exactly the
+// registered pathologies agreeing on the measured positions, in Names()
+// order, and must always contain the true name.
+func TestDecodePartialAllSubsets(t *testing.T) {
+	d, err := NewDecoder()
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	all := fingerprints(t)
+	names := Names()
+	for mask := 0; mask < 1<<NumFingerprintProfiles; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		var measured [NumFingerprintProfiles]bool
+		for j := 0; j < NumFingerprintProfiles; j++ {
+			measured[j] = mask&(1<<j) != 0
+		}
+		for _, name := range names {
+			got, err := d.DecodePartial(all[name].Points, measured)
+			if err != nil {
+				t.Fatalf("DecodePartial(%s, mask=%06b): %v", name, mask, err)
+			}
+			var want []string
+			for _, cand := range names {
+				match := true
+				for j := 0; j < NumFingerprintProfiles; j++ {
+					if measured[j] && all[cand].Points[j] != all[name].Points[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					want = append(want, cand)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("DecodePartial(%s, mask=%06b) = %v, want %v", name, mask, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodePartialErrors pins the two failure modes: fewer than two
+// measured profiles, and a partial vector no pathology produces.
+func TestDecodePartialErrors(t *testing.T) {
+	d, err := NewDecoder()
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	for _, measured := range [][NumFingerprintProfiles]bool{
+		{},
+		{false, false, true, false, false, false},
+	} {
+		if got, err := d.DecodePartial([6]int{10, 9, 9, 9, 2, 8}, measured); !errors.Is(err, ErrTooFewMeasured) {
+			t.Errorf("DecodePartial(measured=%v) = %v, %v; want ErrTooFewMeasured", measured, got, err)
+		}
+	}
+	// No registered pathology scores 99 points anywhere.
+	impossible := [6]int{99, 99, 0, 0, 0, 0}
+	if got, err := d.DecodePartial(impossible, [6]bool{true, true, false, false, false, false}); !errors.Is(err, ErrUnknownVector) {
+		t.Errorf("DecodePartial(impossible) = %v, %v; want ErrUnknownVector", got, err)
+	}
+}

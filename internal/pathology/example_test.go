@@ -46,7 +46,11 @@ func ExampleDecoder() {
 		fmt.Println("decoder:", err)
 		return
 	}
-	name, ok := d.Decode([6]int{6, 9, 8, 8, 2, 6})
-	fmt.Println(name, ok)
-	// Output: nat64-checksum-corruption true
+	name, err := d.Decode([6]int{6, 9, 8, 8, 2, 6})
+	if err != nil {
+		fmt.Println("decode:", err)
+		return
+	}
+	fmt.Println(name)
+	// Output: nat64-checksum-corruption
 }

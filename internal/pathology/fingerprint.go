@@ -3,6 +3,7 @@ package pathology
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/hoststack"
 	"repro/internal/httpsim"
@@ -57,7 +58,10 @@ func (f Fingerprint) String() string {
 // testbed per canonical profile, pathology installed before the client
 // joins, then a full mirror run scored with the fixed (family-
 // validating) logic. Everything runs on the virtual clock, so the
-// result is deterministic.
+// result is deterministic. Stateful pathologies record an AlignPeriod
+// on the testbed; the probe client's join is aligned to that grid —
+// the same protocol the scenario engine applies to trials — so the
+// fingerprint samples the identical schedule phase a sweep trial does.
 func Compute(name string) (Fingerprint, error) {
 	var f Fingerprint
 	for i, prof := range FingerprintProfiles() {
@@ -66,6 +70,7 @@ func Compute(name string) (Fingerprint, error) {
 			tb.Close()
 			return f, err
 		}
+		alignToGrid(tb)
 		c := tb.AddClient("probe", prof)
 		res := portal.Run(func(url string) (*httpsim.Response, error) {
 			r, err := httpsim.Browse(c, url)
@@ -81,6 +86,19 @@ func Compute(name string) (Fingerprint, error) {
 	return f, nil
 }
 
+// alignToGrid advances a world to the next AlignPeriod boundary (Unix
+// arithmetic, matching the scenario trial aligner) so probes sample the
+// schedule phase every grid-aligned trial samples. Worlds without an
+// AlignPeriod — every stateless pathology — are untouched.
+func alignToGrid(tb *testbed.Testbed) {
+	if tb.AlignPeriod <= 0 {
+		return
+	}
+	if rem := time.Duration(tb.Net.Clock.Now().UnixNano()) % tb.AlignPeriod; rem != 0 {
+		tb.Net.RunFor(tb.AlignPeriod - rem)
+	}
+}
+
 // ComputeAll measures every registered pathology, keyed by name.
 func ComputeAll() (map[string]Fingerprint, error) {
 	out := make(map[string]Fingerprint, len(registry))
@@ -94,12 +112,29 @@ func ComputeAll() (map[string]Fingerprint, error) {
 	return out, nil
 }
 
+// ErrUnknownVector is returned by Decode and DecodePartial when the
+// observed score vector matches no registered pathology — including the
+// all-zero vector, which is what an operator measures when the probes
+// themselves failed to run. Returning a named error instead of the
+// "none" control keeps a broken measurement from reading as a healthy
+// network.
+var ErrUnknownVector = fmt.Errorf("pathology: score vector matches no registered fingerprint")
+
+// ErrTooFewMeasured is returned by DecodePartial when fewer than two
+// profiles were measured: a single score is shared by too many
+// pathologies to even bound the ambiguity set usefully.
+var ErrTooFewMeasured = fmt.Errorf("pathology: need at least two measured profiles to decode")
+
 // Decoder maps an observed score vector back to the pathology that
 // produces it — the operator-facing payoff of fingerprint uniqueness:
 // run the five subtests against the canonical profiles, look the vector
 // up, and the catalog names the failure mode.
 type Decoder struct {
 	byVector map[[NumFingerprintProfiles]int]string
+	// byName keeps the full fingerprints in Names() order for partial-
+	// vector matching.
+	names  []string
+	points [][NumFingerprintProfiles]int
 }
 
 // NewDecoder measures every registered pathology and builds the lookup
@@ -117,13 +152,55 @@ func NewDecoder() (*Decoder, error) {
 			return nil, fmt.Errorf("pathology: %q and %q share fingerprint %v", prev, name, f)
 		}
 		d.byVector[f.Points] = name
+		d.names = append(d.names, name)
+		d.points = append(d.points, f.Points)
 	}
 	return d, nil
 }
 
 // Decode returns the pathology whose fingerprint matches the observed
-// score vector.
-func (d *Decoder) Decode(points [NumFingerprintProfiles]int) (string, bool) {
+// score vector, or ErrUnknownVector when nothing does (the all-zero
+// vector of a failed measurement included).
+func (d *Decoder) Decode(points [NumFingerprintProfiles]int) (string, error) {
 	name, ok := d.byVector[points]
-	return name, ok
+	if !ok {
+		return "", ErrUnknownVector
+	}
+	return name, nil
+}
+
+// DecodePartial decodes a vector in which only some profiles were
+// measured (measured[i] false means points[i] is unknown). It returns
+// every registered pathology consistent with the measured positions, in
+// Names() order — an explicit ambiguity set rather than a wrong answer.
+// A single-name set is a confident decode; an empty set is
+// ErrUnknownVector. Fewer than two measured profiles is
+// ErrTooFewMeasured.
+func (d *Decoder) DecodePartial(points [NumFingerprintProfiles]int, measured [NumFingerprintProfiles]bool) ([]string, error) {
+	n := 0
+	for _, m := range measured {
+		if m {
+			n++
+		}
+	}
+	if n < 2 {
+		return nil, ErrTooFewMeasured
+	}
+	var out []string
+	for i, name := range d.names {
+		match := true
+		for j, m := range measured {
+			if m && d.points[i][j] != points[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrUnknownVector
+	}
+	return out, nil
 }

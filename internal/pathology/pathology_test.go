@@ -1,6 +1,7 @@
 package pathology
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -123,6 +124,21 @@ func TestPathologyFingerprintsPinned(t *testing.T) {
 			Points: [6]int{8, 8, 8, 8, 2, 6},
 			Codes:  [6]string{"N66!N", "N66!4", "N66m4", "N66m4", "xxxm4", "N66!!"},
 		},
+		// The stateful pathologies: each plain fingerprint samples the
+		// grid-aligned probe instant with the failure active (flap
+		// down-windows cover the aligned phase by construction).
+		"nat64-port-exhaustion": {
+			Points: [6]int{8, 9, 9, 9, 2, 8},
+			Codes:  [6]string{"N666!", "N6664", "N6664", "N6664", "xxxm4", "N666!"},
+		},
+		"dns64-flapping": {
+			Points: [6]int{10, 9, 8, 8, 2, 8},
+			Codes:  [6]string{"N666N", "46664", "x6664", "x6664", "xxxm4", "N666!"},
+		},
+		"gateway-ra-outage": {
+			Points: [6]int{0, 2, 2, 2, 2, 0},
+			Codes:  [6]string{"!!!!!", "xxxm4", "xxxm4", "xxxm4", "xxxm4", "!!!!!"},
+		},
 	}
 	all := fingerprints(t)
 	for name, w := range want {
@@ -140,7 +156,7 @@ func TestPathologyFingerprintsPinned(t *testing.T) {
 
 // TestDecoderRoundTrip proves the score-vector → pathology direction:
 // every registered fingerprint decodes back to its own name, and a
-// vector no pathology produces decodes to nothing.
+// vector no pathology produces returns the named sentinel error.
 func TestDecoderRoundTrip(t *testing.T) {
 	d, err := NewDecoder()
 	if err != nil {
@@ -148,13 +164,31 @@ func TestDecoderRoundTrip(t *testing.T) {
 	}
 	all := fingerprints(t)
 	for _, name := range Names() {
-		got, ok := d.Decode(all[name].Points)
-		if !ok || got != name {
-			t.Errorf("Decode(%v) = %q, %v; want %q", all[name].String(), got, ok, name)
+		got, err := d.Decode(all[name].Points)
+		if err != nil || got != name {
+			t.Errorf("Decode(%v) = %q, %v; want %q", all[name].String(), got, err, name)
 		}
 	}
-	if name, ok := d.Decode([6]int{1, 1, 1, 1, 1, 1}); ok {
-		t.Errorf("Decode(bogus) = %q, want miss", name)
+	if name, err := d.Decode([6]int{1, 1, 1, 1, 1, 1}); !errors.Is(err, ErrUnknownVector) {
+		t.Errorf("Decode(bogus) = %q, %v; want ErrUnknownVector", name, err)
+	}
+}
+
+// TestDecodeUnknownVectorSentinel is the regression for the silent-miss
+// hazard: an all-zero vector — what an operator measures when the probe
+// suite itself failed — must return ErrUnknownVector, never decode to
+// the "none" control (which would read as "network healthy").
+func TestDecodeUnknownVectorSentinel(t *testing.T) {
+	d, err := NewDecoder()
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	name, err := d.Decode([6]int{})
+	if !errors.Is(err, ErrUnknownVector) {
+		t.Fatalf("Decode(all-zero) = %q, %v; want ErrUnknownVector", name, err)
+	}
+	if name != "" {
+		t.Fatalf("Decode(all-zero) name = %q, want empty", name)
 	}
 }
 

@@ -1,0 +1,93 @@
+package pathology
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// statefulNames is the canonical stateful built-in set, in Names order.
+var statefulNames = []string{"dns64-flapping", "gateway-ra-outage", "nat64-port-exhaustion"}
+
+// timelineCache computes each stateful timeline once per test binary
+// (18 worlds and ~10 virtual minutes each).
+var (
+	tlOnce sync.Once
+	tlAll  map[string]Timeline
+	tlErr  error
+)
+
+func timelines(t *testing.T) map[string]Timeline {
+	t.Helper()
+	tlOnce.Do(func() {
+		tlAll = make(map[string]Timeline, len(statefulNames))
+		for _, name := range statefulNames {
+			var tl Timeline
+			if tl, tlErr = ComputeTimeline(name); tlErr != nil {
+				return
+			}
+			tlAll[name] = tl
+		}
+	})
+	if tlErr != nil {
+		t.Fatalf("ComputeTimeline: %v", tlErr)
+	}
+	return tlAll
+}
+
+// TestComputeTimelinePinned pins the phase-tagged fingerprints of every
+// stateful built-in. A drift here means the lifecycle behavior moved:
+// update PATHOLOGIES.md alongside this table.
+func TestComputeTimelinePinned(t *testing.T) {
+	want := map[string]string{
+		"nat64-port-exhaustion": "pre=10/9/9/9/2/8 active=8/9/9/9/2/8 recovered=10/9/9/9/2/8",
+		"dns64-flapping":        "pre=10/9/9/9/2/8 active=10/9/8/8/2/8 recovered=10/9/9/9/2/8",
+		"gateway-ra-outage":     "pre=10/9/9/9/2/8 active=0/4/2/2/2/0 recovered=10/9/9/9/2/8",
+	}
+	all := timelines(t)
+	for name, w := range want {
+		if got := all[name].String(); got != w {
+			t.Errorf("%s timeline drifted:\n got %s\nwant %s", name, got, w)
+		}
+	}
+}
+
+// TestTimelinePhasesDistinct is the recovery contract: the active
+// vector must differ from both quiet phases (the failure is visible),
+// the recovered vector must equal the pre-onset one (recovery leaves no
+// scar — sessions expired, routes re-learned, caches drained), and the
+// active vectors of different pathologies must stay pairwise unique so
+// a phase-tagged measurement still decodes to one failure mode.
+func TestTimelinePhasesDistinct(t *testing.T) {
+	all := timelines(t)
+	for name, tl := range all {
+		if tl.Active.Points == tl.PreOnset.Points {
+			t.Errorf("%s: active phase invisible (= pre-onset %v)", name, tl.Active.String())
+		}
+		if tl.Active.Points == tl.Recovered.Points {
+			t.Errorf("%s: no recovery (active = recovered %v)", name, tl.Active.String())
+		}
+		if tl.Recovered.Points != tl.PreOnset.Points {
+			t.Errorf("%s: recovery left a scar: pre=%v recovered=%v",
+				name, tl.PreOnset.String(), tl.Recovered.String())
+		}
+	}
+	for i, a := range statefulNames {
+		for _, b := range statefulNames[i+1:] {
+			if all[a].Active.Points == all[b].Active.Points {
+				t.Errorf("active vectors collide: %q and %q share %v", a, b, all[a].Active.String())
+			}
+		}
+	}
+}
+
+// TestComputeTimelineErrors pins the failure modes: unknown names and
+// stateless pathologies (which have no lifecycle to sample).
+func TestComputeTimelineErrors(t *testing.T) {
+	if _, err := ComputeTimeline("no-such-pathology"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("ComputeTimeline(unknown) = %v, want unknown-name error", err)
+	}
+	if _, err := ComputeTimeline("nat64-checksum-corruption"); err == nil || !strings.Contains(err.Error(), "stateless") {
+		t.Errorf("ComputeTimeline(stateless) = %v, want stateless error", err)
+	}
+}

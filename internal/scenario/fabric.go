@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/hoststack"
+	"repro/internal/pathology"
 	"repro/internal/testbed"
 )
 
@@ -42,6 +43,12 @@ type FabricOptions struct {
 	Workers int
 	// Run carries the per-device chaos options into every world.
 	Run RunOptions
+	// Pathology, when non-empty, installs the named failure mode
+	// (internal/pathology) into every world this run builds. Capacity
+	// budgets receive each world's own acting-device count, so a
+	// subtree world gets exactly its slice of a global resource pool
+	// and serial ≡ subtree-sharded holds for exhaustion-driven modes.
+	Pathology string
 }
 
 // FabricDevices draws access switch as's acting population: actors
@@ -90,6 +97,32 @@ func runFabricWorld(tb *testbed.Testbed, opt FabricOptions) *Report {
 	return r.finish()
 }
 
+// allSwitches returns the index list [0, n).
+func allSwitches(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// applyFabricPathology installs opt.Pathology (if any) into a freshly
+// built world, budgeting it with the acting-device count of the access
+// switches that world contains.
+func applyFabricPathology(tb *testbed.Testbed, full testbed.Topology, opt FabricOptions, keep []int) error {
+	if opt.Pathology == "" {
+		return nil
+	}
+	actors := 0
+	for _, sw := range keep {
+		actors += resolveActors(opt, full.Fabric.Access[sw])
+	}
+	if err := pathology.ApplySized(tb, opt.Pathology, actors); err != nil {
+		return fmt.Errorf("installing pathology %q: %w", opt.Pathology, err)
+	}
+	return nil
+}
+
 // RunFabric executes the acting population of a fabric topology, either
 // serially on one world (Shards <= 1) or partitioned into contiguous
 // access-switch subtrees, each rebuilt as an independent world and run
@@ -119,6 +152,9 @@ func RunFabric(full testbed.Topology, opt FabricOptions) (*Report, error) {
 			return nil, fmt.Errorf("scenario: building fabric world: %w", err)
 		}
 		defer tb.Close()
+		if err := applyFabricPathology(tb, full, opt, allSwitches(access)); err != nil {
+			return nil, err
+		}
 		return runFabricWorld(tb, opt), nil
 	}
 
@@ -154,6 +190,11 @@ func RunFabric(full testbed.Topology, opt FabricOptions) (*Report, error) {
 				tb, err := testbed.Build(testbed.SubtreeTopology(full, groups[i]))
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario: subtree shard %d: building world: %w", i, err)
+					continue
+				}
+				if err := applyFabricPathology(tb, full, opt, groups[i]); err != nil {
+					errs[i] = fmt.Errorf("scenario: subtree shard %d: %w", i, err)
+					tb.Close()
 					continue
 				}
 				reports[i] = runFabricWorld(tb, opt)

@@ -13,9 +13,11 @@ import (
 // same deterministic population, folded into a pathology × client-
 // profile degradation matrix. Like the chaos sweep, every rendered
 // value is a counter, so the output is byte-reproducible and documented
-// verbatim in EXPERIMENTS.md §bench6. Pathologies are stateless world
-// mutations, so each cell may run sharded and still fold to the serial
-// report exactly (TestPathologyShardedMatchesSerial).
+// verbatim in EXPERIMENTS.md §bench6. Stateless pathologies are pure
+// world mutations; stateful ones carry grid-aligned schedules and
+// pro-rata capacity budgets — either way each cell may run sharded and
+// still fold to the serial report exactly
+// (TestPathologyShardedMatchesSerial and its stateful sibling).
 
 // PathologyConfig parameterizes PathologySweep.
 type PathologyConfig struct {
@@ -76,8 +78,8 @@ func PathologySweep(cfg PathologyConfig) (*PathologyMatrix, error) {
 	devices := Population(cfg.Seed, cfg.N, mix)
 	m := &PathologyMatrix{N: cfg.N, Seed: cfg.Seed, Profiles: profileColumns(mix)}
 	for _, name := range names {
-		fac := pathology.Factory(testbed.Factory{Spec: PathologySpec(cfg.N)}.Build, name)
-		rep, err := RunSharded(fac, devices, ShardOptions{
+		fac := pathology.FactorySized(testbed.Factory{Spec: PathologySpec(cfg.N)}.Build, name)
+		rep, err := RunShardedSized(fac, devices, ShardOptions{
 			Shards:  cfg.Shards,
 			Workers: cfg.Workers,
 			Seed:    cfg.Seed,

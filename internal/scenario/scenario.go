@@ -246,12 +246,19 @@ const DefaultConvergeTimeout = 60 * time.Second
 const beaconPhase = 10 * time.Second
 
 // alignToBeaconPhase advances the world's virtual clock to the next
-// beacon-grid boundary. All worlds share one clock epoch, so "the
-// grid" is the same in every world a sharded run builds.
+// trial-grid boundary: the beacon grid by default, or the testbed's
+// AlignPeriod when a stateful pathology demanded a coarser one (the
+// flap period, so every trial observes the same flap phase). All worlds
+// share one clock epoch, so "the grid" is the same in every world a
+// sharded run builds.
 func alignToBeaconPhase(tb *testbed.Testbed) {
-	rem := time.Duration(tb.Net.Clock.Now().UnixNano()) % beaconPhase
+	period := beaconPhase
+	if tb.AlignPeriod > period {
+		period = tb.AlignPeriod
+	}
+	rem := time.Duration(tb.Net.Clock.Now().UnixNano()) % period
 	if rem != 0 {
-		tb.Net.RunFor(beaconPhase - rem)
+		tb.Net.RunFor(period - rem)
 	}
 }
 
@@ -332,9 +339,10 @@ func newTrialRunner(tb *testbed.Testbed, opt RunOptions) *trialRunner {
 		mon:   mon,
 		opt:   opt,
 		churn: churn,
-		// Impaired or churned trials are aligned to the beacon grid; with
-		// every knob off the classic run is reproduced untouched.
-		align:           churn || tb.Spec.Impair.Enabled(),
+		// Impaired, churned or stateful-pathology trials are aligned to
+		// the trial grid; with every knob off the classic run is
+		// reproduced untouched.
+		align:           churn || tb.Spec.Impair.Enabled() || tb.AlignPeriod > 0 || tb.SampleNAT64PerTrial,
 		convergeTimeout: convergeTimeout,
 		rep:             &Report{},
 	}
@@ -361,12 +369,22 @@ func (r *trialRunner) runTrial(spec DeviceSpec, join func() *hoststack.Host) {
 		dr.Flows = runFlows(c, r.opt.Traffic)
 	}
 
+	if tb.SampleNAT64PerTrial {
+		// Short session timeouts (a stateful exhaustion pathology) mean
+		// the end-of-run total would be near zero and the churn delta
+		// would race expiry; the position-independent measure is the
+		// live-session count at each trial's end — every prior trial's
+		// sessions have idled out across the ≥2 s bring-up gap.
+		r.rep.NAT64Sessions += tb.Gateway.NAT64.SessionCount()
+	}
 	if r.churn {
 		// Sample this device's translator footprint before reboots
 		// wipe it, so per-device deltas sum identically across any
 		// shard partition.
 		r.rep.NAT44LogEntries += len(tb.Gateway.NAT44.Log) - nat44Before
-		r.rep.NAT64Sessions += tb.Gateway.NAT64.SessionCount() - nat64Before
+		if !tb.SampleNAT64PerTrial {
+			r.rep.NAT64Sessions += tb.Gateway.NAT64.SessionCount() - nat64Before
+		}
 
 		if dr.Informed || dr.Internet {
 			dr.Churned = true
@@ -404,9 +422,12 @@ func (r *trialRunner) finish() *Report {
 	}
 	rep.Overcount = rep.ReportedSSIDClients - rep.TrueIPv6Only
 	if !r.churn {
-		// Translator state survives the whole run: read the totals once.
+		// Translator state survives the whole run: read the totals once
+		// (unless per-trial sampling already accumulated them).
 		rep.NAT44LogEntries = len(tb.Gateway.NAT44.Log)
-		rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
+		if !tb.SampleNAT64PerTrial {
+			rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
+		}
 	}
 
 	rep.Classes = make(map[metrics.Class]int)

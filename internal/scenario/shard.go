@@ -29,6 +29,14 @@ import (
 // is whenever each call returns a brand-new Testbed.
 type WorldFactory func() (*testbed.Testbed, error)
 
+// SizedWorldFactory is WorldFactory for worlds whose resources scale
+// with the population they will run: the engine passes the number of
+// devices this particular world hosts (a shard's slice, or the full
+// population in a serial run), so a capacity-budgeted pathology
+// (pathology.FactorySized) can split a global pool pro rata and keep
+// serial ≡ sharded intact for exhaustion-driven failure modes.
+type SizedWorldFactory func(devices int) (*testbed.Testbed, error)
+
 // ShardOptions parameterizes RunSharded.
 type ShardOptions struct {
 	// Shards is the number of worlds the population splits across
@@ -106,6 +114,18 @@ func RunSharded(factory WorldFactory, devices []DeviceSpec, opt ShardOptions) (*
 	if factory == nil {
 		return nil, errors.New("scenario: RunSharded needs a world factory")
 	}
+	return RunShardedSized(func(int) (*testbed.Testbed, error) { return factory() }, devices, opt)
+}
+
+// RunShardedSized is RunSharded for device-count-aware world factories:
+// each shard's world is built with that shard's own device count, which
+// is how a pathology Budget (a NAT64 port pool sized to quota × devices)
+// splits across worlds so the sharded run has exactly the serial run's
+// per-client capacity.
+func RunShardedSized(factory SizedWorldFactory, devices []DeviceSpec, opt ShardOptions) (*Report, error) {
+	if factory == nil {
+		return nil, errors.New("scenario: RunShardedSized needs a world factory")
+	}
 	shards := ShardDevices(opt.Seed, devices, opt.Shards)
 	workers := opt.Workers
 	if workers <= 0 {
@@ -124,7 +144,7 @@ func RunSharded(factory WorldFactory, devices []DeviceSpec, opt ShardOptions) (*
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				tb, err := factory()
+				tb, err := factory(len(shards[i].Devices))
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario: shard %d: building world: %w", i, err)
 					continue

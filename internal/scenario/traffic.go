@@ -148,6 +148,16 @@ func buildTrafficReport(tb *testbed.Testbed, devices []DeviceResult, t *TrafficO
 		tr.PerClass[dr.Class] = cs
 	}
 	tr.Gateway = tb.Gateway.TrafficStats()
+	if tb.SampleNAT64PerTrial {
+		// Expiry-dominated session tables (the nat64-port-exhaustion
+		// pathology) make the end-of-run live count a function of when
+		// this world's last flow happened to finish — position-dependent
+		// state the shard-equality contract forbids. The main report
+		// already samples live sessions per trial for such worlds; the
+		// traffic snapshot drops the live count rather than publishing a
+		// position-dependent one.
+		tr.Gateway.NAT64Sessions = 0
+	}
 	return tr
 }
 
@@ -176,6 +186,7 @@ func mergeTraffic(out **TrafficReport, p *TrafficReport) {
 	t.Gateway.NAT64Sessions += p.Gateway.NAT64Sessions
 	t.Gateway.NAT44Sessions += p.Gateway.NAT44Sessions
 	t.Gateway.NAT44LogEntries += p.Gateway.NAT44LogEntries
+	t.Gateway.NAT64PortsExhausted += p.Gateway.NAT64PortsExhausted
 }
 
 // String renders the traffic aggregate with counters only (reproducible

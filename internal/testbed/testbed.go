@@ -165,6 +165,24 @@ type Testbed struct {
 	// Fabric is the runtime access tier — non-nil only when the spec's
 	// FabricSpec is populated (see fabric.go).
 	Fabric *Fabric
+
+	// AlignPeriod, when non-zero, asks the scenario engine to align
+	// every device trial to this virtual-time period (a multiple of the
+	// 10 s RA beacon grid). Stateful pathology installs set it so each
+	// trial observes the same schedule phase regardless of its position
+	// in the run — the serial ≡ sharded precondition for scheduled
+	// failures.
+	AlignPeriod time.Duration
+
+	// SampleNAT64PerTrial, when set, makes the scenario engine
+	// accumulate the gateway NAT64's live-session count at the end of
+	// each device trial instead of reading one total at the end of the
+	// run. Installs that shorten NAT64 session timeouts below the
+	// inter-trial bring-up gap set it: with sessions expiring between
+	// trials the end-of-run total would be position-dependent, while
+	// the per-trial sum is a pure per-device quantity that merges
+	// exactly across shards.
+	SampleNAT64PerTrial bool
 }
 
 // New assembles and starts the default world for opt. It is a thin

@@ -3,8 +3,9 @@
 // must carry a doc comment, and every package must have a package
 // comment. It additionally holds pathology registrations to the catalog
 // bar: every Pathology composite literal must carry non-empty Name,
-// Source and Mechanism strings. It walks the package directories given
-// as arguments (or
+// Source and Mechanism strings, and stateful literals (any with a
+// Schedule, Budget or InstallGated field) a non-empty ScheduleDoc. It
+// walks the package directories given as arguments (or
 // ./internal/... and ./cmd/... plus the module root by default), parses
 // the non-test sources with go/parser, and prints one line per missing
 // comment. Exit status 1 means the bar is not met — CI runs this next
@@ -142,10 +143,12 @@ func lintDecl(fset *token.FileSet, decl ast.Decl) int {
 
 // lintPathologyLits enforces the pathology documentation bar on top of
 // the runtime check in pathology.Register: every Pathology composite
-// literal must spell out non-empty Name, Source and Mechanism strings,
-// so an undocumented failure mode fails the docs lane before any test
-// ever constructs it. Fields whose values are not compile-time string
-// constants are left to the runtime check.
+// literal must spell out non-empty Name, Source and Mechanism strings —
+// and, when the literal carries lifecycle state (Schedule, Budget or
+// InstallGated), a non-empty ScheduleDoc — so an undocumented failure
+// mode fails the docs lane before any test ever constructs it. Fields
+// whose values are not compile-time string constants are left to the
+// runtime check.
 func lintPathologyLits(fset *token.FileSet, file *ast.File) int {
 	bad := 0
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -161,7 +164,17 @@ func lintPathologyLits(fset *token.FileSet, file *ast.File) int {
 				}
 			}
 		}
-		for _, req := range []string{"Name", "Source", "Mechanism"} {
+		required := []string{"Name", "Source", "Mechanism"}
+		// Stateful pathologies — anything carrying lifecycle state —
+		// must additionally document that lifecycle: what turns on when,
+		// how it recovers, and what state it leaves behind.
+		for _, stateful := range []string{"Schedule", "Budget", "InstallGated"} {
+			if _, ok := fields[stateful]; ok {
+				required = append(required, "ScheduleDoc")
+				break
+			}
+		}
+		for _, req := range required {
 			v, ok := fields[req]
 			if !ok {
 				fmt.Printf("%s: Pathology literal lacks the %s field\n", fset.Position(cl.Pos()), req)
