@@ -766,3 +766,140 @@ func BenchmarkChaos(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMillionScenario is the streaming engine's capstone: a full
+// scenario run over the 1,000,000-registered-client fabric world —
+// every one of the 1000 access domains brings a device through the
+// option-108 → DNS64 → NAT64 workload — with per-device rows streamed
+// out through a RowSink and DiscardDevices on, so the run retains O(1)
+// aggregate state instead of an O(devices) report. Two hard in-
+// benchmark memory ceilings enforce the bounded-RSS claim: live heap
+// sampled mid-run (every 100th row) must stay under 192 MB, and the
+// GC-settled heap with the world still alive in its pool must stay
+// under 64 MB — a retained per-device slice or per-trial garbage
+// pileup fails the benchmark outright, not just a snapshot diff.
+// BENCH_6.json records the measured figures; CI regresses allocs/op
+// against it.
+func BenchmarkMillionScenario(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		access     = 1000
+		clientsPer = 1000
+	)
+	spec := testbed.FabricTopology(testbed.DefaultOptions(), access, clientsPer)
+	var peakMB, settledMB float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		pool := scenario.NewWorldPool()
+		rows, internet := 0, 0
+		peak := uint64(0)
+		sink := scenario.RowSinkFunc(func(r scenario.Row) {
+			rows++
+			if r.Internet {
+				internet++
+			}
+			if rows%100 == 0 {
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+			}
+		})
+		rep, err := scenario.RunFabric(spec, scenario.FabricOptions{
+			Seed:            1,
+			ActorsPerDomain: 1,
+			Pool:            pool,
+			Run:             scenario.RunOptions{Sink: sink, DiscardDevices: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Joined != access || rows != access {
+			b.Fatalf("joined=%d rows=%d, want %d (every domain reporting)", rep.Joined, rows, access)
+		}
+		if len(rep.Devices) != 0 {
+			b.Fatalf("DiscardDevices run retained %d devices", len(rep.Devices))
+		}
+		if internet == 0 || rep.InternetOK != internet {
+			b.Fatalf("streamed internet=%d, report says %d", internet, rep.InternetOK)
+		}
+
+		// Settled ceiling: world (pooled, alive) + report + logs.
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		settled := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / (1 << 20)
+		live := float64(int64(peak)-int64(before.HeapAlloc)) / (1 << 20)
+		if live > 192 {
+			b.Fatalf("bounded-RSS broken: %.1f MB live heap mid-run (ceiling 192)", live)
+		}
+		if settled > 64 {
+			b.Fatalf("bounded-RSS broken: %.1f MB settled heap post-run (ceiling 64)", settled)
+		}
+		if live > peakMB {
+			peakMB = live
+		}
+		if settled > settledMB {
+			settledMB = settled
+		}
+		pool.Close()
+	}
+	b.ReportMetric(peakMB, "peakheap-MB")
+	b.ReportMetric(settledMB, "settledheap-MB")
+}
+
+// BenchmarkWorldPoolSweep measures what pooled world reuse buys a sweep:
+// the same 16-shard cell (one device per world — the repeated-probe
+// shape pathology fingerprints and grid repeats produce) run again and
+// again, fresh-building every world per run versus checking worlds out
+// of a scenario.WorldPool (Checkpoint once, Reset per reuse). The pool
+// is pre-warmed outside the timer so the pooled figure is the
+// steady-state sweep cost; BENCH_6.json records the ratio, which must
+// stay ≥ 2x (the acceptance criterion for the streaming-engine
+// tentpole).
+func BenchmarkWorldPoolSweep(b *testing.B) {
+	const n = 16
+	devices := scenario.Population(1, n, scenario.DefaultMix())
+	fac := testbed.Factory{Spec: testbed.ScaleTopology(testbed.DefaultOptions(), n)}
+	sized := func(int) (*testbed.Testbed, error) { return fac.Build() }
+	cell := func(pool *scenario.WorldPool) error {
+		rep, err := scenario.RunShardedSized(sized, devices, scenario.ShardOptions{
+			Shards: 16, Workers: 1, Seed: 1, Pool: pool,
+			Run: scenario.RunOptions{DiscardDevices: true},
+		})
+		if err != nil {
+			return err
+		}
+		if rep.Joined != n {
+			return fmt.Errorf("population lost: joined=%d", rep.Joined)
+		}
+		return nil
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := cell(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := scenario.NewWorldPool()
+		defer pool.Close()
+		if err := cell(pool); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cell(pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

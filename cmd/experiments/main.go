@@ -61,6 +61,10 @@ var exps = []experiment{
 // the full sweep.
 var pathologyTarget string
 
+// gridFile holds the <file> from -grid=<file>; non-empty switches the
+// binary into the experiments.json grid-runner mode.
+var gridFile string
+
 // usageText is the generated flags reference. It is printed for
 // -h/-help/help and pinned verbatim inside README.md's
 // experiments-flags block, so the docs and the binary cannot diverge
@@ -73,6 +77,11 @@ func usageText() string {
 		fmt.Fprintf(&b, "  %-11s %s\n", e.id, e.title)
 	}
 	b.WriteString("\nFlags:\n")
+	fmt.Fprintf(&b, "  -grid=<file>       run the experiments.json grid instead: the cross-product of\n")
+	fmt.Fprintf(&b, "                     populations x shards x loss_levels x reboot_levels x\n")
+	fmt.Fprintf(&b, "                     pathologies, `repeats` times each, streaming one CSV/JSONL\n")
+	fmt.Fprintf(&b, "                     row per device to `output` while pooled worlds are reused\n")
+	fmt.Fprintf(&b, "                     across repeats via the testbed Checkpoint/Reset lifecycle\n")
 	fmt.Fprintf(&b, "  -pathology=<name>  fingerprint a single registered pathology and decode it\n")
 	fmt.Fprintf(&b, "                     (the PATHOLOGIES.md repro command); names: %s\n",
 		strings.Join(pathology.Names(), ", "))
@@ -88,11 +97,24 @@ func main() {
 			fmt.Print(usageText())
 			return
 		}
-		if k, v, ok := strings.Cut(a, "="); ok && k == "pathology" {
-			pathologyTarget = v
-			a = k
+		if k, v, ok := strings.Cut(a, "="); ok {
+			switch k {
+			case "pathology":
+				pathologyTarget = v
+				a = k
+			case "grid":
+				gridFile = v
+				a = k
+			}
 		}
 		want[a] = true
+	}
+	if gridFile != "" {
+		if err := runGrid(gridFile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: grid: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {

@@ -105,6 +105,10 @@ type Gateway struct {
 	nd  map[netip.Addr]netsim.MAC
 
 	raTimer *netsim.Timer
+	// raNextAt is the virtual deadline of the pending beacon; world
+	// reuse (Checkpoint/Restore) re-arms the timer at exactly this
+	// instant after a clock rewind.
+	raNextAt time.Time
 
 	blockNAT44  bool
 	suppressPTB bool
@@ -327,6 +331,7 @@ func (g *Gateway) Reboot() {
 }
 
 func (g *Gateway) armRATimer() {
+	g.raNextAt = g.net.Clock.Now().Add(g.cfg.RAInterval)
 	g.raTimer = g.net.Clock.AfterFunc(g.cfg.RAInterval, func() {
 		g.sendRA()
 		g.armRATimer()

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []RowRecord {
+	return []RowRecord{
+		{Cell: "n24/k2/loss10", Repeat: 0, Shard: 0, Index: 0, Device: "dev000-ios",
+			Profile: "iOS", Class: ClassV6Only, Informed: false, Internet: true, UsedIPv6: true},
+		{Cell: "n24/k2/loss10", Repeat: 1, Shard: 1, Index: 3, Device: "dev003-w10",
+			Profile: "Windows, 10", Class: ClassV4Only, Informed: true,
+			Churned: true, Reconverged: true, ConvergeMS: 1250},
+	}
+}
+
+func TestEmitterCSV(t *testing.T) {
+	var b strings.Builder
+	e := NewEmitter(&b, EmitCSV)
+	for _, r := range sampleRows() {
+		if err := e.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows() != 2 {
+		t.Errorf("Rows() = %d, want 2", e.Rows())
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not re-parse: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d CSV records, want header + 2 rows", len(recs))
+	}
+	if got := strings.Join(recs[0], "|"); got != strings.Join(rowHeader, "|") {
+		t.Errorf("header = %q", got)
+	}
+	// The comma-bearing profile name must round-trip through quoting.
+	if recs[2][5] != "Windows, 10" {
+		t.Errorf("quoted profile = %q", recs[2][5])
+	}
+	if recs[2][12] != "1250" {
+		t.Errorf("converge_ms = %q", recs[2][12])
+	}
+}
+
+func TestEmitterJSONL(t *testing.T) {
+	var b strings.Builder
+	e := NewEmitter(&b, EmitJSONL)
+	rows := sampleRows()
+	for _, r := range rows {
+		if err := e.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var got RowRecord
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d does not re-parse: %v", i, err)
+		}
+		if got != rows[i] {
+			t.Errorf("line %d round-trip: got %+v want %+v", i, got, rows[i])
+		}
+	}
+}
+
+func TestParseEmitFormat(t *testing.T) {
+	for s, want := range map[string]EmitFormat{"": EmitCSV, "csv": EmitCSV, "jsonl": EmitJSONL} {
+		got, err := ParseEmitFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEmitFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEmitFormat("xml"); err == nil {
+		t.Error("ParseEmitFormat accepted xml")
+	}
+}

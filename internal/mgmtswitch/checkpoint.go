@@ -1,0 +1,46 @@
+package mgmtswitch
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Checkpoint is an opaque copy of the managed switch's dynamic state:
+// the embedded forwarding-plane snapshot (learned table, snooped
+// interest bitsets, filters, port-table length) plus the switch's own
+// counters and pending ULA-beacon deadline. Captured with
+// Switch.Checkpoint and restored with Switch.Restore for testbed world
+// reuse.
+type Checkpoint struct {
+	plane        *netsim.SwitchSnapshot
+	raNextAt     time.Time
+	snoopedDrops uint64
+	rasSent      uint64
+}
+
+// Checkpoint captures the switch's dynamic state.
+func (s *Switch) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		plane:        s.Switch.Snapshot(),
+		raNextAt:     s.raNextAt,
+		snoopedDrops: s.SnoopedDrops,
+		rasSent:      s.RAsSent,
+	}
+}
+
+// Restore rewinds the switch to a previously captured Checkpoint and,
+// when the ULA beacon is enabled, re-arms it at its recorded deadline.
+// The caller must have already rewound the network clock.
+func (s *Switch) Restore(c *Checkpoint) {
+	s.Switch.RestoreSnapshot(c.plane)
+	s.SnoopedDrops = c.snoopedDrops
+	s.RAsSent = c.rasSent
+	s.raNextAt = c.raNextAt
+	if s.cfg.AdvertiseULA {
+		s.raTimer = s.net.Clock.AfterFunc(c.raNextAt.Sub(s.net.Clock.Now()), func() {
+			s.sendRA()
+			s.armRATimer()
+		})
+	}
+}

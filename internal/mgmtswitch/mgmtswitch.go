@@ -48,6 +48,9 @@ type Switch struct {
 
 	blockedPorts map[int]bool
 	raTimer      *netsim.Timer
+	// raNextAt is the virtual deadline of the pending ULA beacon; world
+	// reuse re-arms the timer at exactly this instant after a rewind.
+	raNextAt time.Time
 
 	// SnoopedDrops counts DHCPv4 server frames blocked by snooping.
 	SnoopedDrops uint64
@@ -174,6 +177,7 @@ func (s *Switch) Start() {
 }
 
 func (s *Switch) armRATimer() {
+	s.raNextAt = s.net.Clock.Now().Add(s.cfg.RAInterval)
 	s.raTimer = s.net.Clock.AfterFunc(s.cfg.RAInterval, func() {
 		s.sendRA()
 		s.armRATimer()

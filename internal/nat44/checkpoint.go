@@ -1,0 +1,55 @@
+package nat44
+
+// Checkpoint is an opaque deep copy of a Translator's dynamic state
+// (session tables, port cursor, log length and counters), captured with
+// Translator.Checkpoint and restored with Translator.Restore for
+// testbed world reuse.
+type Checkpoint struct {
+	sessions map[key]*session // clones; inbound map rebuilt from these
+	nextPort uint16
+	logLen   int
+
+	translated uint64
+	dropped    uint64
+	bytesOut   uint64
+	bytesIn    uint64
+}
+
+// Checkpoint deep-copies the translator's dynamic state. The
+// append-only session Log is captured by length and truncated on
+// restore rather than copied.
+func (t *Translator) Checkpoint() *Checkpoint {
+	c := &Checkpoint{
+		sessions: make(map[key]*session, len(t.outbound)),
+		nextPort: t.nextPort,
+		logLen:   len(t.Log),
+
+		translated: t.Translated,
+		dropped:    t.Dropped,
+		bytesOut:   t.BytesOut,
+		bytesIn:    t.BytesIn,
+	}
+	for k, s := range t.outbound {
+		cp := *s
+		c.sessions[k] = &cp
+	}
+	return c
+}
+
+// Restore rewinds the translator to a previously captured Checkpoint.
+func (t *Translator) Restore(c *Checkpoint) {
+	t.outbound = make(map[key]*session, len(c.sessions))
+	t.inbound = make(map[extKey]*session, len(c.sessions))
+	for k, s := range c.sessions {
+		cp := *s
+		t.outbound[k] = &cp
+		t.inbound[extKey{proto: k.proto, port: cp.extPort}] = &cp
+	}
+	t.nextPort = c.nextPort
+	t.Log = t.Log[:c.logLen]
+
+	t.Translated = c.translated
+	t.Dropped = c.dropped
+	t.BytesOut = c.bytesOut
+	t.BytesIn = c.bytesIn
+}

@@ -40,6 +40,13 @@ type ChaosConfig struct {
 	Workers int
 	// ConvergeTimeout bounds per-device re-convergence probing.
 	ConvergeTimeout time.Duration
+	// Sink, when non-nil, streams every cell's per-device rows as they
+	// finish (cells run sequentially in row-major grid order, so rows
+	// group by cell; within a cell, shards interleave).
+	Sink RowSink
+	// DiscardDevices drops per-device retention in every cell's report;
+	// the matrix renders from the folded aggregates alone.
+	DiscardDevices bool
 }
 
 // ChaosCell is one grid point: the impairment and churn applied, and
@@ -103,6 +110,8 @@ func ChaosSweep(cfg ChaosConfig) (*DegradationMatrix, error) {
 				Run: RunOptions{
 					RebootsPerDevice: nReboots,
 					ConvergeTimeout:  cfg.ConvergeTimeout,
+					Sink:             cfg.Sink,
+					DiscardDevices:   cfg.DiscardDevices,
 				},
 			})
 			if err != nil {

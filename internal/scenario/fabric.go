@@ -42,7 +42,14 @@ type FabricOptions struct {
 	// Workers bounds concurrent subtree worlds (default GOMAXPROCS).
 	Workers int
 	// Run carries the per-device chaos options into every world.
+	// Run.Sink, when set, receives every subtree's rows through one
+	// serialized sink, stamped with the subtree shard index.
 	Run RunOptions
+	// Pool, when non-nil, acquires subtree worlds from the world-reuse
+	// pool (keyed by subtree index) instead of building fresh; repeated
+	// fabric runs over the same topology amortize construction through
+	// the testbed Checkpoint/Reset lifecycle.
+	Pool *WorldPool
 	// Pathology, when non-empty, installs the named failure mode
 	// (internal/pathology) into every world this run builds. Capacity
 	// budgets receive each world's own acting-device count, so a
@@ -146,16 +153,39 @@ func RunFabric(full testbed.Topology, opt FabricOptions) (*Report, error) {
 		shards = access
 	}
 
+	buildWorld := func(keep []int, spec testbed.Topology) (*testbed.Testbed, error) {
+		tb, err := testbed.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := applyFabricPathology(tb, full, opt, keep); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		return tb, nil
+	}
+
 	if shards == 1 {
-		tb, err := testbed.Build(full)
+		var tb *testbed.Testbed
+		var err error
+		if opt.Pool != nil {
+			tb, err = opt.Pool.Get(0, func() (*testbed.Testbed, error) {
+				return buildWorld(allSwitches(access), full)
+			})
+		} else {
+			tb, err = buildWorld(allSwitches(access), full)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("scenario: building fabric world: %w", err)
 		}
-		defer tb.Close()
-		if err := applyFabricPathology(tb, full, opt, allSwitches(access)); err != nil {
-			return nil, err
+		rep := runFabricWorld(tb, opt)
+		if opt.Pool != nil {
+			detachLogs(rep)
+			opt.Pool.Put(0, tb)
+		} else {
+			tb.Close()
 		}
-		return runFabricWorld(tb, opt), nil
+		return rep, nil
 	}
 
 	// Contiguous switch groups: concatenating them in index order walks
@@ -181,24 +211,39 @@ func RunFabric(full testbed.Topology, opt FabricOptions) (*Report, error) {
 	reports := make([]*Report, len(groups))
 	errs := make([]error, len(groups))
 	next := make(chan int)
+	shared := sharedSink(opt.Run.Sink)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				tb, err := testbed.Build(testbed.SubtreeTopology(full, groups[i]))
+				build := func() (*testbed.Testbed, error) {
+					return buildWorld(groups[i], testbed.SubtreeTopology(full, groups[i]))
+				}
+				var tb *testbed.Testbed
+				var err error
+				if opt.Pool != nil {
+					tb, err = opt.Pool.Get(i, build)
+				} else {
+					tb, err = build()
+				}
 				if err != nil {
-					errs[i] = fmt.Errorf("scenario: subtree shard %d: building world: %w", i, err)
-					continue
-				}
-				if err := applyFabricPathology(tb, full, opt, groups[i]); err != nil {
 					errs[i] = fmt.Errorf("scenario: subtree shard %d: %w", i, err)
-					tb.Close()
 					continue
 				}
-				reports[i] = runFabricWorld(tb, opt)
-				tb.Close()
+				wopt := opt
+				if shared != nil {
+					wopt.Run.Sink = shared
+				}
+				wopt.Run.rowShard = i
+				reports[i] = runFabricWorld(tb, wopt)
+				if opt.Pool != nil {
+					detachLogs(reports[i])
+					opt.Pool.Put(i, tb)
+				} else {
+					tb.Close()
+				}
 			}
 		}()
 	}

@@ -34,6 +34,12 @@ type PathologyConfig struct {
 	// GOMAXPROCS).
 	Shards  int
 	Workers int
+	// Sink, when non-nil, streams every cell's per-device rows as they
+	// finish (cells run sequentially in registry order).
+	Sink RowSink
+	// DiscardDevices drops per-device retention in every cell's report;
+	// the matrix renders from the folded Profiles aggregates alone.
+	DiscardDevices bool
 }
 
 // PathologyCell is one sweep row: the pathology installed in every
@@ -83,6 +89,10 @@ func PathologySweep(cfg PathologyConfig) (*PathologyMatrix, error) {
 			Shards:  cfg.Shards,
 			Workers: cfg.Workers,
 			Seed:    cfg.Seed,
+			Run: RunOptions{
+				Sink:           cfg.Sink,
+				DiscardDevices: cfg.DiscardDevices,
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scenario: pathology cell %q: %w", name, err)
@@ -152,17 +162,10 @@ func (m *PathologyMatrix) String() string {
 	for _, c := range m.Cells {
 		fmt.Fprintf(&b, "%-26s %8d %9d", c.Pathology, c.Report.InternetOK, c.Report.Informed)
 		for _, p := range m.Profiles {
-			ok, total := 0, 0
-			for _, d := range c.Report.Devices {
-				if d.Spec.Profile.Name != p {
-					continue
-				}
-				total++
-				if d.Internet {
-					ok++
-				}
-			}
-			fmt.Fprintf(&b, " %6s", fmt.Sprintf("%d/%d", ok, total))
+			// Profiles folds incrementally during the run, so the matrix
+			// renders identically whether or not Devices was retained.
+			pc := c.Report.Profiles[p]
+			fmt.Fprintf(&b, " %6s", fmt.Sprintf("%d/%d", pc.InternetOK, pc.Devices))
 		}
 		b.WriteByte('\n')
 	}

@@ -138,8 +138,20 @@ type DeviceResult struct {
 	Flows FlowStats
 }
 
-// Report aggregates a scenario run.
+// ProfileCount tallies one client profile's outcomes across a run.
+type ProfileCount struct {
+	Devices    int
+	InternetOK int
+}
+
+// Report aggregates a scenario run. Every aggregate field folds
+// incrementally as trials finish (O(1) state per trial), so a report
+// stays exact even when Devices is discarded via
+// RunOptions.DiscardDevices or streamed out through RunOptions.Sink.
 type Report struct {
+	// Devices retains every per-device result in trial order. Runs with
+	// DiscardDevices leave it empty; the aggregate fields below are
+	// complete either way.
 	Devices []DeviceResult
 
 	// Joined is the population size; Informed counts devices that hit the
@@ -167,6 +179,11 @@ type Report struct {
 
 	// Classes tallies every joined device by its observed traffic class.
 	Classes map[metrics.Class]int
+
+	// Profiles tallies devices and internet-ok outcomes per client
+	// profile name. Always populated, so profile-resolved matrices (the
+	// pathology sweep's String) render without the Devices slice.
+	Profiles map[string]ProfileCount
 
 	// PoisonedQueries / HealthyQueries are the lengths of the two DNS
 	// servers' query logs after the run. Poisoned-server queries arrive
@@ -228,6 +245,20 @@ type RunOptions struct {
 	// of the connectivity check: devices with working internet stream
 	// CDN flows with per-flow byte accounting (see TrafficOptions).
 	Traffic *TrafficOptions
+
+	// Sink, when non-nil, receives one Row per device trial the moment
+	// it finishes (see stream.go). Sharded engines serialize a shared
+	// sink and stamp each row's shard index.
+	Sink RowSink
+	// DiscardDevices leaves Report.Devices empty: rows flow only
+	// through Sink (if any) and the aggregate fields, which fold
+	// incrementally and stay exact. This is what bounds a
+	// million-client run's memory.
+	DiscardDevices bool
+
+	// rowShard is the shard index stamped onto streamed rows; the
+	// sharded engines set it per world.
+	rowShard int
 }
 
 // DefaultConvergeTimeout bounds post-reboot probing when
@@ -319,6 +350,14 @@ type trialRunner struct {
 	align           bool
 	convergeTimeout time.Duration
 	rep             *Report
+
+	// rows counts emitted trials (the Index of the next streamed Row).
+	rows int
+	// flows / flowsPerClass fold the heavy-traffic accounting
+	// incrementally (used instead of re-walking rep.Devices, which may
+	// be discarded).
+	flows         FlowStats
+	flowsPerClass map[metrics.Class]FlowStats
 }
 
 func newTrialRunner(tb *testbed.Testbed, opt RunOptions) *trialRunner {
@@ -334,7 +373,7 @@ func newTrialRunner(tb *testbed.Testbed, opt RunOptions) *trialRunner {
 	if convergeTimeout <= 0 {
 		convergeTimeout = DefaultConvergeTimeout
 	}
-	return &trialRunner{
+	r := &trialRunner{
 		tb:    tb,
 		mon:   mon,
 		opt:   opt,
@@ -344,8 +383,18 @@ func newTrialRunner(tb *testbed.Testbed, opt RunOptions) *trialRunner {
 		// reproduced untouched.
 		align:           churn || tb.Spec.Impair.Enabled() || tb.AlignPeriod > 0 || tb.SampleNAT64PerTrial,
 		convergeTimeout: convergeTimeout,
-		rep:             &Report{},
+		rep: &Report{
+			Classes:  make(map[metrics.Class]int),
+			Profiles: make(map[string]ProfileCount),
+		},
 	}
+	if churn {
+		r.rep.Convergence = make(map[metrics.Class]ClassConvergence)
+	}
+	if opt.Traffic != nil {
+		r.flowsPerClass = make(map[metrics.Class]FlowStats)
+	}
+	return r
 }
 
 // runTrial runs one device trial: align, sample translator baselines,
@@ -397,29 +446,68 @@ func (r *trialRunner) runTrial(spec DeviceSpec, join func() *hoststack.Host) {
 	}
 
 	dr.Class = r.mon.ClassOf(c.MAC())
-	if dr.Internet {
-		r.rep.InternetOK++
+	r.fold(dr)
+	if r.opt.Sink != nil {
+		r.opt.Sink.ObserveRow(Row{Shard: r.opt.rowShard, Index: r.rows, DeviceResult: dr})
 	}
-	if dr.Informed {
-		r.rep.Informed++
+	r.rows++
+	if !r.opt.DiscardDevices {
+		r.rep.Devices = append(r.rep.Devices, dr)
 	}
-	r.rep.Joined++
-	r.rep.Devices = append(r.rep.Devices, dr)
 }
 
-// finish derives the aggregate fields from the accumulated device
-// results and returns the report.
-func (r *trialRunner) finish() *Report {
-	tb, rep := r.tb, r.rep
-	for _, dr := range rep.Devices {
-		if dr.Informed {
-			continue // informed devices leave the SSID
-		}
+// fold accumulates one finished trial into the report's aggregate
+// fields — O(1) state per trial, no dependence on the retained Devices
+// slice, and the exact same arithmetic the legacy end-of-run derivation
+// performed (the stream ≡ legacy goldens pin the equality).
+func (r *trialRunner) fold(dr DeviceResult) {
+	rep := r.rep
+	rep.Joined++
+	if dr.Internet {
+		rep.InternetOK++
+	}
+	if dr.Informed {
+		rep.Informed++
+	} else {
+		// Informed devices leave the SSID; everyone else is counted.
 		rep.ReportedSSIDClients++
 		if dr.Class == metrics.ClassV6Only {
 			rep.TrueIPv6Only++
 		}
 	}
+	rep.Classes[dr.Class]++
+	pc := rep.Profiles[dr.Spec.Profile.Name]
+	pc.Devices++
+	if dr.Internet {
+		pc.InternetOK++
+	}
+	rep.Profiles[dr.Spec.Profile.Name] = pc
+
+	if r.churn && dr.Churned {
+		cc := rep.Convergence[dr.Class]
+		cc.Devices++
+		if dr.Reconverged {
+			cc.Reconverged++
+			cc.TotalTime += dr.ConvergeTime
+			if dr.ConvergeTime > cc.MaxTime {
+				cc.MaxTime = dr.ConvergeTime
+			}
+		}
+		rep.Convergence[dr.Class] = cc
+	}
+	if r.opt.Traffic != nil && dr.Flows != (FlowStats{}) {
+		r.flows.add(dr.Flows)
+		cs := r.flowsPerClass[dr.Class]
+		cs.add(dr.Flows)
+		r.flowsPerClass[dr.Class] = cs
+	}
+}
+
+// finish seals the report: the per-trial folds already hold every
+// device-derived aggregate, so only the world-level reads remain (the
+// translator totals, the query logs and the drained traffic stats).
+func (r *trialRunner) finish() *Report {
+	tb, rep := r.tb, r.rep
 	rep.Overcount = rep.ReportedSSIDClients - rep.TrueIPv6Only
 	if !r.churn {
 		// Translator state survives the whole run: read the totals once
@@ -429,31 +517,8 @@ func (r *trialRunner) finish() *Report {
 			rep.NAT64Sessions = tb.Gateway.NAT64.SessionCount()
 		}
 	}
-
-	rep.Classes = make(map[metrics.Class]int)
-	for _, dr := range rep.Devices {
-		rep.Classes[dr.Class]++
-	}
-	if r.churn {
-		rep.Convergence = make(map[metrics.Class]ClassConvergence)
-		for _, dr := range rep.Devices {
-			if !dr.Churned {
-				continue
-			}
-			cc := rep.Convergence[dr.Class]
-			cc.Devices++
-			if dr.Reconverged {
-				cc.Reconverged++
-				cc.TotalTime += dr.ConvergeTime
-				if dr.ConvergeTime > cc.MaxTime {
-					cc.MaxTime = dr.ConvergeTime
-				}
-			}
-			rep.Convergence[dr.Class] = cc
-		}
-	}
 	if r.opt.Traffic != nil {
-		rep.Traffic = buildTrafficReport(tb, rep.Devices, r.opt.Traffic)
+		rep.Traffic = buildTrafficReport(tb, r.flows, r.flowsPerClass, r.opt.Traffic)
 	}
 	rep.PoisonLog = tb.PoisonLog
 	rep.HealthyLog = tb.HealthyLog

@@ -50,8 +50,15 @@ type ShardOptions struct {
 	// from one number.
 	Seed int64
 	// Run carries per-device chaos options into every shard's world
-	// (zero value = the classic workload).
+	// (zero value = the classic workload). Run.Sink, when set, receives
+	// every shard's rows through one serialized sink, each stamped with
+	// its shard index.
 	Run RunOptions
+	// Pool, when non-nil, acquires shard worlds from the world-reuse
+	// pool (keyed by shard device count) instead of building fresh and
+	// closing after: repeated runs amortize world construction through
+	// the testbed Checkpoint/Reset lifecycle.
+	Pool *WorldPool
 }
 
 // ShardInfo records one shard of a partitioned run.
@@ -138,19 +145,39 @@ func RunShardedSized(factory SizedWorldFactory, devices []DeviceSpec, opt ShardO
 	reports := make([]*Report, len(shards))
 	errs := make([]error, len(shards))
 	next := make(chan int)
+	shared := sharedSink(opt.Run.Sink)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				tb, err := factory(len(shards[i].Devices))
+				n := len(shards[i].Devices)
+				var tb *testbed.Testbed
+				var err error
+				if opt.Pool != nil {
+					tb, err = opt.Pool.Get(n, func() (*testbed.Testbed, error) { return factory(n) })
+				} else {
+					tb, err = factory(n)
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario: shard %d: building world: %w", i, err)
 					continue
 				}
-				reports[i] = RunWith(tb, shards[i].Devices, opt.Run)
-				tb.Close()
+				ro := opt.Run
+				if shared != nil {
+					ro.Sink = shared
+				}
+				ro.rowShard = i
+				reports[i] = RunWith(tb, shards[i].Devices, ro)
+				if opt.Pool != nil {
+					// The report aliases the world's live query logs; the
+					// next checkout's Reset rewinds them, so snapshot first.
+					detachLogs(reports[i])
+					opt.Pool.Put(n, tb)
+				} else {
+					tb.Close()
+				}
 			}
 		}()
 	}
@@ -178,10 +205,23 @@ func RunShardedSized(factory SizedWorldFactory, devices []DeviceSpec, opt ShardO
 // Overcount is recomputed from the merged counters rather than summed,
 // which is equivalent (it is linear in them) and keeps the invariant
 // Overcount == ReportedSSIDClients - TrueIPv6Only by construction.
+// Device retention is the shards' choice, not the merge's: shards run
+// with DiscardDevices contribute nothing to the merged Devices slice
+// (their aggregates were folded incrementally as they streamed), and a
+// merge over such reports allocates no per-device state at all.
 func MergeReports(parts ...*Report) *Report {
 	out := &Report{
 		PoisonLog:  &dns.QueryLog{},
 		HealthyLog: &dns.QueryLog{},
+	}
+	retained := 0
+	for _, p := range parts {
+		if p != nil {
+			retained += len(p.Devices)
+		}
+	}
+	if retained > 0 {
+		out.Devices = make([]DeviceResult, 0, retained)
 	}
 	for _, p := range parts {
 		if p == nil {
@@ -198,6 +238,17 @@ func MergeReports(parts ...*Report) *Report {
 		out.PoisonedQueries += p.PoisonedQueries
 		out.HealthyQueries += p.HealthyQueries
 		out.Classes = metrics.MergeCounts(out.Classes, p.Classes)
+		if p.Profiles != nil {
+			if out.Profiles == nil {
+				out.Profiles = make(map[string]ProfileCount, len(p.Profiles))
+			}
+			for name, pc := range p.Profiles {
+				m := out.Profiles[name]
+				m.Devices += pc.Devices
+				m.InternetOK += pc.InternetOK
+				out.Profiles[name] = m
+			}
+		}
 		if p.Convergence != nil {
 			if out.Convergence == nil {
 				out.Convergence = make(map[metrics.Class]ClassConvergence)

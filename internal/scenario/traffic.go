@@ -128,24 +128,20 @@ func runFlows(c *hoststack.Host, t *TrafficOptions) FlowStats {
 }
 
 // buildTrafficReport assembles the run-wide traffic aggregate from the
-// per-device flow stats once device classes are known. The world is
-// drained first so trailing TCP teardown segments (ACKs and FINs still
-// in flight when the last flow's pump returned) cross the translators:
-// without the drain, how many of them are counted would depend on how
-// much pumping later devices happened to do — exactly the position
-// dependence the shard-equality contract forbids.
-func buildTrafficReport(tb *testbed.Testbed, devices []DeviceResult, t *TrafficOptions) *TrafficReport {
+// incrementally folded per-device flow stats (the trial runner folds
+// them as each device finishes, so the report needs no retained Devices
+// slice). The world is drained first so trailing TCP teardown segments
+// (ACKs and FINs still in flight when the last flow's pump returned)
+// cross the translators: without the drain, how many of them are
+// counted would depend on how much pumping later devices happened to do
+// — exactly the position dependence the shard-equality contract
+// forbids.
+func buildTrafficReport(tb *testbed.Testbed, flows FlowStats, perClass map[metrics.Class]FlowStats, t *TrafficOptions) *TrafficReport {
 	quiet := 2*t.Pace + 100*time.Millisecond
 	tb.Net.Drain(quiet)
-	tr := &TrafficReport{PerClass: make(map[metrics.Class]FlowStats)}
-	for _, dr := range devices {
-		if dr.Flows == (FlowStats{}) {
-			continue
-		}
-		tr.Flows.add(dr.Flows)
-		cs := tr.PerClass[dr.Class]
-		cs.add(dr.Flows)
-		tr.PerClass[dr.Class] = cs
+	tr := &TrafficReport{Flows: flows, PerClass: make(map[metrics.Class]FlowStats, len(perClass))}
+	for cls, cs := range perClass {
+		tr.PerClass[cls] = cs
 	}
 	tr.Gateway = tb.Gateway.TrafficStats()
 	if tb.SampleNAT64PerTrial {

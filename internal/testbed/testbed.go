@@ -160,6 +160,10 @@ type Testbed struct {
 
 	poisonSwitch *switchableResolver
 
+	// cp is the saved post-Build state backing the Checkpoint/Reset
+	// world-reuse lifecycle (reset.go); nil until Checkpoint is taken.
+	cp *checkpoint
+
 	Clients []*hoststack.Host
 
 	// Fabric is the runtime access tier — non-nil only when the spec's
